@@ -1,0 +1,40 @@
+"""E1 (Section 5.3): ablation of the three rewriting rounds on Q2.
+
+Runs Q2 with each prefix of the round sequence and records what each
+round contributes — round one removes the materialization, round two
+moves work to the sources, round three converts the join into a bind
+join.  Answers are asserted identical throughout.
+"""
+
+import pytest
+
+from repro.datasets import Q2
+
+ROUND_SETS = {
+    "none": (),
+    "r1": (1,),
+    "r1_r2": (1, 2),
+    "r1_r2_r3": (1, 2, 3),
+}
+
+
+@pytest.mark.parametrize("label", list(ROUND_SETS))
+def test_q2_round_prefix(benchmark, label, request):
+    mediator = request.getfixturevalue("mediator_medium")
+    rounds = ROUND_SETS[label]
+    reference = mediator.query(Q2, optimize=False).document()
+
+    def run():
+        if rounds:
+            return mediator.query(Q2, rounds=rounds)
+        return mediator.query(Q2, optimize=False)
+
+    result = benchmark(run)
+    assert result.document() == reference
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        rounds=label,
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+        mediator_rows=stats.mediator_rows,
+    )

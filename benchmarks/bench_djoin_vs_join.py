@@ -1,0 +1,67 @@
+"""E3: when information passing wins — the bind-join crossover.
+
+The Figure 9 bind join calls the inner source once per driving row.  It
+wins when the driving side is small (a selective pushed predicate) and
+loses when it is large — the classic distributed trade-off the paper
+cites ([30], [21]).  This bench sweeps the driving cardinality through
+the ``contains`` selectivity and records both strategies' transfers, plus
+the (extension) cost-gated optimizer that picks between them.
+"""
+
+import pytest
+
+from repro.datasets import CulturalDataset, Q2
+from benchmarks.conftest import make_mediator
+
+FRACTIONS = [0.05, 0.3, 0.9]
+
+
+def _sources(fraction):
+    return CulturalDataset(
+        n_artifacts=150, impressionist_fraction=fraction, seed=6
+    ).build()
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_bind_join(benchmark, fraction):
+    """Rounds 1-3: the paper's unconditional bind join."""
+    mediator = make_mediator(*_sources(fraction))
+    reference = mediator.query(Q2, optimize=False).document()
+    result = benchmark(mediator.query, Q2, rounds=(1, 2, 3))
+    assert result.document() == reference
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        fraction=fraction,
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+    )
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_bulk_join(benchmark, fraction):
+    """Rounds 1-2 only: both fragments pushed, joined at the mediator."""
+    mediator = make_mediator(*_sources(fraction))
+    reference = mediator.query(Q2, optimize=False).document()
+    result = benchmark(mediator.query, Q2, rounds=(1, 2))
+    assert result.document() == reference
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        fraction=fraction,
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+    )
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_cost_gated(benchmark, fraction):
+    """Extension: the cost model chooses between the two strategies."""
+    mediator = make_mediator(*_sources(fraction), gate_information_passing=True)
+    reference = mediator.query(Q2, optimize=False).document()
+    result = benchmark(mediator.query, Q2)
+    assert result.document() == reference
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        fraction=fraction,
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+    )

@@ -1,0 +1,45 @@
+"""F1 (Figure 1): generating and shipping the sample XML data.
+
+Measures dataset generation, XML serialization of both exports, and the
+parse side of the wire format — the conversion overhead the paper's
+pushdown exists to avoid paying for whole documents.
+"""
+
+import pytest
+
+from repro.datasets import CulturalDataset
+from repro.model.xml_io import tree_to_xml, xml_to_tree
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_generate_dataset(benchmark, n):
+    benchmark.extra_info["n_artifacts"] = n
+    database, store = benchmark(
+        lambda: CulturalDataset(n_artifacts=n, seed=1).build()
+    )
+    assert len(database.extent("artifacts")) == n
+    assert len(store) == n
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_serialize_o2_export(benchmark, n):
+    database, _store = CulturalDataset(n_artifacts=n, seed=1).build()
+    tree = database.export_extent("artifacts")
+    text = benchmark(tree_to_xml, tree)
+    benchmark.extra_info["bytes"] = len(text.encode("utf-8"))
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_serialize_works_export(benchmark, n):
+    _database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+    tree = store.collection_tree()
+    text = benchmark(tree_to_xml, tree)
+    benchmark.extra_info["bytes"] = len(text.encode("utf-8"))
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_parse_works_export(benchmark, n):
+    _database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+    text = tree_to_xml(store.collection_tree())
+    parsed = benchmark(xml_to_tree, text)
+    assert len(parsed.children) == n

@@ -1,0 +1,50 @@
+"""F3 (Figure 3): instantiation-check cost across the genericity levels.
+
+The type system's promise is that instantiation is cheap enough to run
+during query processing ("for unambiguous filters this can be done in
+polynomial time").  We measure data-vs-schema checks as data grows and
+the pattern-vs-pattern subsumption checks of the Figure 3 chain.
+"""
+
+import pytest
+
+from repro.datasets import CulturalDataset
+from repro.model.instantiation import is_instance, subsumes
+from repro.model.patterns import PAny, PRef, odmg_model_library
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_extent_instance_of_schema(benchmark, n):
+    database, _store = CulturalDataset(n_artifacts=n, seed=1).build()
+    library = database.schema.to_pattern_library()
+    tree = database.export_extent("artifacts")
+    pattern = library.resolve("artifacts")
+    result = benchmark(is_instance, tree, pattern, library)
+    assert result
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_works_instance_of_structure(benchmark, n):
+    from repro.wrappers import WaisWrapper
+
+    _database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+    wrapper = WaisWrapper("xmlartwork", store)
+    library = wrapper.interface().structures["Artworks_Structure"]
+    tree = store.collection_tree()
+    result = benchmark(is_instance, tree, library.resolve("works"), library)
+    assert result
+
+
+def test_schema_subsumed_by_odmg(benchmark):
+    database, _store = CulturalDataset(n_artifacts=10, seed=1).build()
+    library = database.schema.to_pattern_library()
+    odmg = odmg_model_library()
+    artifact = library.resolve("artifact")
+    result = benchmark(subsumes, PRef("Class"), artifact, odmg)
+    assert result
+
+
+def test_odmg_subsumed_by_yat(benchmark):
+    odmg = odmg_model_library()
+    result = benchmark(subsumes, PAny(), odmg.resolve("Type"), odmg)
+    assert result

@@ -1,0 +1,125 @@
+"""F4 (Figure 4): cost of the Bind and Tree frontier operators.
+
+Bind "can be expensive to evaluate" (Section 3.1); this module measures
+its cost against document count, the cost of the Tree reconstruction, and
+the DJoin-split form of the same Bind (Figure 7), whose elementary
+operators trade one big match for several smaller ones.
+"""
+
+import pytest
+
+from repro.core.algebra.bind import match_filter
+from repro.core.algebra.evaluator import Environment, evaluate
+from repro.core.algebra.operators import BindOp, SourceOp
+from repro.core.algebra.tab import Tab
+from repro.core.algebra.tree import CElem, CGroup, CIterate, CLeaf, construct
+from repro.core.algebra.expressions import Var
+from repro.core.optimizer import OptimizerContext, ref_is, split_nested_collection
+from repro.datasets import CulturalDataset
+from repro.model.filters import FRest, FStar, FVar, felem
+from repro.wrappers import O2Wrapper
+
+
+def figure4_filter():
+    return felem(
+        "works",
+        FStar(
+            felem(
+                "work",
+                felem("artist", FVar("a")),
+                felem("title", FVar("t")),
+                felem("style", FVar("s")),
+                felem("size", FVar("si")),
+                FRest("fields"),
+            )
+        ),
+    )
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_bind_works(benchmark, n):
+    _database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+    tree = store.collection_tree()
+    flt = figure4_filter()
+    rows = benchmark(match_filter, tree, flt)
+    assert len(rows) == n
+    benchmark.extra_info["rows"] = len(rows)
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_tree_regroup_by_artist(benchmark, n):
+    _database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+    rows = match_filter(store.collection_tree(), figure4_filter())
+    tab = Tab.from_dicts(("a", "t", "s", "si", "fields"), rows)
+    constructor = CElem(
+        "result",
+        [
+            CGroup(
+                [Var("a")],
+                CElem(
+                    "artist",
+                    [CLeaf("name", Var("a")), CIterate(CLeaf("title", Var("t")))],
+                    skolem=("artist", [Var("a")]),
+                ),
+            )
+        ],
+    )
+    tree = benchmark(construct, tab, constructor)
+    assert tree.children
+
+
+@pytest.mark.parametrize("n", [25, 100])
+def test_complex_bind_monolithic(benchmark, n):
+    """The nested artifacts Bind evaluated in one pattern match."""
+    database, _store = CulturalDataset(n_artifacts=n, seed=1).build()
+    o2 = O2Wrapper("o2artifact", database)
+    bind = _artifacts_bind()
+    env = lambda: Environment({"o2artifact": o2})
+    tab = benchmark(lambda: evaluate(bind, env()))
+    benchmark.extra_info["rows"] = len(tab)
+
+
+@pytest.mark.parametrize("n", [25, 100])
+def test_complex_bind_djoin_split(benchmark, n):
+    """The same Bind in its Figure 7 DJoin form."""
+    database, _store = CulturalDataset(n_artifacts=n, seed=1).build()
+    o2 = O2Wrapper("o2artifact", database)
+    context = OptimizerContext(interfaces={"o2artifact": o2.interface()})
+    split = split_nested_collection(_artifacts_bind(), context)
+    env = lambda: Environment({"o2artifact": o2}, functions={"ref_is": ref_is})
+    tab = benchmark(lambda: evaluate(split, env()))
+    benchmark.extra_info["rows"] = len(tab)
+
+
+def _artifacts_bind():
+    flt = felem(
+        "set",
+        FStar(
+            felem(
+                "class",
+                felem(
+                    "artifact",
+                    felem(
+                        "tuple",
+                        felem("title", FVar("t")),
+                        felem("year", FVar("y")),
+                        felem(
+                            "owners",
+                            felem(
+                                "list",
+                                FStar(
+                                    felem(
+                                        "class",
+                                        felem("person",
+                                              felem("tuple",
+                                                    felem("name", FVar("o")))),
+                                    )
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            )
+        ),
+    )
+    return BindOp(SourceOp("o2artifact", "artifacts"), flt, on="artifacts")

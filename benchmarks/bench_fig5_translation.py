@@ -1,0 +1,57 @@
+"""F5 (Figure 5): YAT_L parsing and algebraic translation latency.
+
+Translation happens per query at the mediator, so it must be cheap
+relative to evaluation.  Measured on the paper's view and queries, and on
+a synthetically widened query to show the growth trend.
+"""
+
+import pytest
+
+from repro.datasets import Q1, Q2, VIEW1_YAT
+from repro.yatl import parse_program, parse_query, translate_query
+from repro.yatl.translator import translate_rule
+
+
+def _resolve(document):
+    return {"artifacts": "o2artifact", "artworks": "xmlartwork"}.get(document, "s")
+
+
+def test_parse_view(benchmark):
+    program = benchmark(parse_program, VIEW1_YAT)
+    assert program.rules[0].name == "artworks"
+
+
+def test_translate_view(benchmark):
+    program = parse_program(VIEW1_YAT)
+    plan = benchmark(translate_rule, program.rules[0], _resolve)
+    assert plan.output_columns() == ("artworks",)
+
+
+def test_parse_and_translate_q1(benchmark):
+    def run():
+        return translate_query(parse_query(Q1), _resolve)
+
+    plan = benchmark(run)
+    assert plan.output_columns() == ("result",)
+
+
+def test_parse_and_translate_q2(benchmark):
+    def run():
+        return translate_query(parse_query(Q2), _resolve)
+
+    plan = benchmark(run)
+    assert plan.output_columns() == ("result",)
+
+
+@pytest.mark.parametrize("width", [5, 20, 80])
+def test_translation_scales_with_query_width(benchmark, width):
+    fields = ", ".join(f"f{i}: $v{i}" for i in range(width))
+    items = ", ".join(f"o{i}: $v{i}" for i in range(width))
+    text = f"MAKE doc [ * item [ {items} ] ] MATCH d WITH works *work [ {fields} ]"
+
+    def run():
+        return translate_query(parse_query(text), _resolve)
+
+    plan = benchmark(run)
+    assert len(plan.input.filter.variables()) == width
+    benchmark.extra_info["width"] = width

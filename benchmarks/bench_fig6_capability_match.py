@@ -1,0 +1,85 @@
+"""F6 (Figure 6): the cost of capability descriptions.
+
+Admissibility runs once per candidate fragment during round two, so the
+structural check against the Fmodel must be fast; the XML codec runs once
+per wrapper connection.  Both are measured here.
+"""
+
+import pytest
+
+from repro.capabilities import CapabilityMatcher, interface_to_xml, xml_to_interface
+from repro.datasets import CulturalDataset
+from repro.model.filters import FStar, FVar, felem
+from repro.wrappers import O2Wrapper, WaisWrapper
+
+
+@pytest.fixture(scope="module")
+def wrappers():
+    database, store = CulturalDataset(n_artifacts=25, seed=1).build()
+    return O2Wrapper("o2artifact", database), WaisWrapper("xmlartwork", store)
+
+
+def view_filter():
+    return felem(
+        "set",
+        FStar(
+            felem(
+                "class",
+                felem(
+                    "artifact",
+                    felem(
+                        "tuple",
+                        felem("title", FVar("t")),
+                        felem("year", FVar("y")),
+                        felem("creator", FVar("c")),
+                        felem("price", FVar("p")),
+                        felem(
+                            "owners",
+                            felem(
+                                "list",
+                                FStar(
+                                    felem(
+                                        "class",
+                                        felem("person",
+                                              felem("tuple",
+                                                    felem("name", FVar("o")),
+                                                    felem("auction", FVar("au")))),
+                                    )
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+def test_admissibility_accept_o2(benchmark, wrappers):
+    o2, _wais = wrappers
+    matcher = CapabilityMatcher(o2.interface())
+    flt = view_filter()
+    result = benchmark(matcher.bind_admissible, flt)
+    assert result
+
+
+def test_admissibility_reject_wais(benchmark, wrappers):
+    _o2, wais = wrappers
+    matcher = CapabilityMatcher(wais.interface())
+    flt = felem("works", FStar(felem("work", felem("title", FVar("t")))))
+    result = benchmark(matcher.bind_admissible, flt)
+    assert not result
+
+
+def test_interface_export_to_xml(benchmark, wrappers):
+    o2, _wais = wrappers
+    interface = o2.interface()
+    text = benchmark(interface_to_xml, interface)
+    assert "Fclass" in text
+
+
+def test_interface_import_from_xml(benchmark, wrappers):
+    o2, _wais = wrappers
+    text = o2.interface_xml()
+    parsed = benchmark(xml_to_interface, text)
+    assert parsed.supports("bind")

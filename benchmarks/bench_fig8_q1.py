@@ -1,0 +1,59 @@
+"""F8 (Figure 8): Q1 over the view — naive materialization vs optimized.
+
+The paper's claim: composing Q1 with the view naively materializes the
+whole integrated view; the rewritten plan touches only the XML source and
+only the matching documents.  The shape to reproduce: the optimized plan
+wins, and its advantage grows with collection size.  Transfer statistics
+(bytes, source calls) ride along in ``extra_info``.
+"""
+
+import pytest
+
+from repro.datasets import Q1
+
+SIZES = {"small": 25, "medium": 100, "large": 400}
+
+
+def _run(mediator, optimize):
+    result = mediator.query(Q1, optimize=optimize)
+    return result
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+def test_q1_naive(benchmark, size, request):
+    mediator = request.getfixturevalue(f"mediator_{size}")
+    result = benchmark(_run, mediator, False)
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        n_artifacts=SIZES[size],
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+        answer_rows=len(result.document().children),
+    )
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+def test_q1_optimized(benchmark, size, request):
+    mediator = request.getfixturevalue(f"mediator_{size}")
+    reference = mediator.query(Q1, optimize=False).document()
+    result = benchmark(_run, mediator, True)
+    assert result.document() == reference
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        n_artifacts=SIZES[size],
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+        answer_rows=len(result.document().children),
+    )
+
+
+@pytest.mark.parametrize("size", ["medium"])
+def test_q1_planning_only(benchmark, size, request):
+    """Optimization itself must stay cheap relative to evaluation."""
+    from repro.yatl import parse_query
+
+    mediator = request.getfixturevalue(f"mediator_{size}")
+    parsed = parse_query(Q1)
+    naive, optimized, trace = benchmark(mediator.plan_query, parsed)
+    benchmark.extra_info["rewrites"] = len(trace)
+    assert len(trace) >= 4

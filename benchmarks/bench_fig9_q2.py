@@ -1,0 +1,60 @@
+"""F9 (Figure 9): Q2 — capability pushdown and information passing.
+
+Two shapes to reproduce:
+
+* optimized Q2 beats the naive plan, increasingly so as data grows;
+* the win tracks the *selectivity* of the pushed ``contains`` predicate —
+  sweeping the impressionist fraction shows transfer scaling with the
+  number of matching documents, not with the collection.
+"""
+
+import pytest
+
+from repro.datasets import CulturalDataset, Q2
+from benchmarks.conftest import make_mediator
+
+SIZES = {"small": 25, "medium": 100, "large": 400}
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+def test_q2_naive(benchmark, size, request):
+    mediator = request.getfixturevalue(f"mediator_{size}")
+    result = benchmark(mediator.query, Q2, optimize=False)
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        n_artifacts=SIZES[size],
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+    )
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+def test_q2_optimized(benchmark, size, request):
+    mediator = request.getfixturevalue(f"mediator_{size}")
+    reference = mediator.query(Q2, optimize=False).document()
+    result = benchmark(mediator.query, Q2)
+    assert result.document() == reference
+    stats = result.report.stats
+    benchmark.extra_info.update(
+        n_artifacts=SIZES[size],
+        bytes_transferred=stats.total_bytes_transferred,
+        source_calls=stats.total_source_calls,
+    )
+
+
+@pytest.mark.parametrize("fraction", [0.05, 0.3, 0.8])
+def test_q2_selectivity_sweep(benchmark, fraction):
+    """Transfer follows the contains selectivity, not the collection size."""
+    database, store = CulturalDataset(
+        n_artifacts=150, impressionist_fraction=fraction, seed=2
+    ).build()
+    mediator = make_mediator(database, store)
+    reference = mediator.query(Q2, optimize=False)
+    result = benchmark(mediator.query, Q2)
+    assert result.document() == reference.document()
+    benchmark.extra_info.update(
+        impressionist_fraction=fraction,
+        bytes_naive=reference.report.stats.total_bytes_transferred,
+        bytes_optimized=result.report.stats.total_bytes_transferred,
+        source_calls=result.report.stats.total_source_calls,
+    )

@@ -1,0 +1,77 @@
+"""E2 (Section 4.1): SQL wraps "in a similar manner" to OQL.
+
+The same logical fragment — bind titles and prices, select under a price
+bound — pushed to the O2 wrapper and to the SQL wrapper over identical
+data.  Both must return the same rows; the benchmark compares the
+per-engine costs of the two wrapped substrates.
+"""
+
+import pytest
+
+from repro.core.algebra.expressions import Cmp, Const, Var
+from repro.core.algebra.operators import BindOp, SelectOp, SourceOp
+from repro.datasets import CulturalDataset
+from repro.model.filters import FStar, FVar, felem
+from repro.wrappers import O2Wrapper, SqlWrapper
+
+N = 200
+BOUND = 1_000_000.0
+
+
+@pytest.fixture(scope="module")
+def twins():
+    dataset = CulturalDataset(n_artifacts=N, seed=4)
+    database, _store = dataset.build()
+    sales = dataset.build_sales(database)
+    return O2Wrapper("o2artifact", database), SqlWrapper("salesdb", sales)
+
+
+def o2_plan():
+    flt = felem(
+        "set",
+        FStar(
+            felem(
+                "class",
+                felem("artifact", felem("tuple", felem("title", FVar("t")),
+                                        felem("price", FVar("p")))),
+            )
+        ),
+    )
+    return SelectOp(
+        BindOp(SourceOp("o2artifact", "artifacts"), flt, on="artifacts"),
+        Cmp("<", Var("p"), Const(BOUND)),
+    )
+
+
+def sql_plan():
+    flt = felem(
+        "rows",
+        FStar(felem("row", felem("title", FVar("t")), felem("price", FVar("p")))),
+    )
+    return SelectOp(
+        BindOp(SourceOp("salesdb", "sales"), flt, on="sales"),
+        Cmp("<", Var("p"), Const(BOUND)),
+    )
+
+
+def test_pushed_to_oql(benchmark, twins):
+    o2, _sql = twins
+    tab, native = benchmark(o2.execute_pushed, o2_plan())
+    assert native.startswith("select")
+    benchmark.extra_info["rows"] = len(tab)
+
+
+def test_pushed_to_sql(benchmark, twins):
+    _o2, sql = twins
+    tab, native = benchmark(sql.execute_pushed, sql_plan())
+    assert native.startswith("SELECT")
+    benchmark.extra_info["rows"] = len(tab)
+
+
+def test_same_rows_from_both(twins):
+    o2, sql = twins
+    o2_tab, _ = o2.execute_pushed(o2_plan())
+    sql_tab, _ = sql.execute_pushed(sql_plan())
+    assert {(r["t"], r["p"]) for r in o2_tab} == {
+        (r["t"], r["p"]) for r in sql_tab
+    }

@@ -1,0 +1,305 @@
+"""XML wire format for source interfaces (the Figure 6 document).
+
+Wrappers export their capabilities to the mediator as XML; this codec
+implements both directions.  The element vocabulary follows Figure 6:
+
+.. code-block:: xml
+
+    <interface name="o2artifact">
+      <structure name="artifacts_schema"> ... patterns ... </structure>
+      <document name="artifacts" model="artifacts_schema" pattern="Extent"/>
+      <fmodel name="o2fmodel">
+        <fpattern name="Fclass">
+          <node label="class" bind="tree">
+            <node label="Symbol" bind="none" inst="ground">
+              <value model="o2fmodel" pattern="Ftype"/></node></node>
+        </fpattern>
+        ...
+      </fmodel>
+      <operation name="bind" kind="algebra">
+        <input>
+          <value model="o2model" pattern="Type"/>
+          <filter model="o2fmodel" pattern="Ftype"/></input>
+        <output><value model="yat" pattern="Tab"/></output>
+      </operation>
+      <operation name="select" kind="algebra"></operation>
+      <equivalence kind="selection_implication"
+                   mediator="=" source="contains" argtype="String"/>
+    </interface>
+
+Both ``<value>`` and ``<ref>`` are accepted for pattern references on
+input (the paper uses both spellings); ``<value>`` is emitted.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.errors import XmlFormatError
+from repro.capabilities.equivalences import Equivalence, SelectionImplication
+from repro.capabilities.fmodel import FModel, FPat
+from repro.capabilities.interface import ArgSpec, OperationDecl, SourceInterface
+from repro.model.patterns import PatternLibrary
+from repro.model.xml_io import element_to_pattern, pattern_to_element
+
+
+# ---------------------------------------------------------------------------
+# Fpatterns
+# ---------------------------------------------------------------------------
+
+def fpat_to_element(fpat: FPat) -> ET.Element:
+    """Serialize one Fpattern node."""
+    if fpat.kind == "ref":
+        element = ET.Element("value")
+        model, pattern = fpat.ref
+        element.set("model", model)
+        element.set("pattern", pattern)
+    elif fpat.kind == "node":
+        element = ET.Element("node")
+        element.set("label", fpat.label or "")
+        if fpat.collection is not None:
+            element.set("col", fpat.collection)
+    elif fpat.kind == "leaf":
+        element = ET.Element("leaf")
+        element.set("label", fpat.label or "")
+    elif fpat.kind == "star":
+        element = ET.Element("star")
+    elif fpat.kind == "union":
+        element = ET.Element("union")
+    elif fpat.kind == "any":
+        element = ET.Element("any")
+    else:
+        raise XmlFormatError(f"cannot serialize Fpattern kind {fpat.kind!r}")
+    if fpat.bind != "any":
+        element.set("bind", fpat.bind)
+    if fpat.inst != "any":
+        element.set("inst", fpat.inst)
+    for child in fpat.children:
+        element.append(fpat_to_element(child))
+    return element
+
+
+def element_to_fpat(element: ET.Element) -> FPat:
+    """Parse one Fpattern node."""
+    bind = element.get("bind", "any")
+    inst = element.get("inst", "any")
+    children = tuple(element_to_fpat(child) for child in element)
+    tag = element.tag
+    if tag in ("value", "ref"):
+        pattern = element.get("pattern")
+        if pattern is None:
+            raise XmlFormatError(f"<{tag}> requires a pattern attribute")
+        model = element.get("model", "")
+        return FPat("ref", ref=(model, pattern), bind=bind, inst=inst)
+    if tag == "node":
+        label = element.get("label")
+        if label is None:
+            raise XmlFormatError("<node> requires a label attribute")
+        return FPat(
+            "node",
+            label=label,
+            children=children,
+            bind=bind,
+            inst=inst,
+            collection=element.get("col"),
+        )
+    if tag == "leaf":
+        label = element.get("label")
+        if label is None:
+            raise XmlFormatError("<leaf> requires a label attribute")
+        return FPat("leaf", label=label, bind=bind, inst=inst)
+    if tag == "star":
+        if len(children) != 1:
+            raise XmlFormatError("<star> requires exactly one child")
+        return FPat("star", children=children, bind=bind, inst=inst)
+    if tag == "union":
+        return FPat("union", children=children, bind=bind, inst=inst)
+    if tag == "any":
+        return FPat("any", bind=bind, inst=inst)
+    raise XmlFormatError(f"unknown Fpattern element <{tag}>")
+
+
+# ---------------------------------------------------------------------------
+# Interfaces
+# ---------------------------------------------------------------------------
+
+def interface_to_element(interface: SourceInterface) -> ET.Element:
+    """Serialize a full source interface."""
+    root = ET.Element("interface")
+    root.set("name", interface.name)
+    for library in interface.structures.values():
+        structure_el = ET.SubElement(root, "structure")
+        structure_el.set("name", library.name)
+        for name, pattern in library.items():
+            pattern_el = ET.SubElement(structure_el, "pattern")
+            pattern_el.set("name", name)
+            pattern_el.append(pattern_to_element(pattern))
+    for document, (model, pattern) in interface.documents.items():
+        document_el = ET.SubElement(root, "document")
+        document_el.set("name", document)
+        document_el.set("model", model)
+        document_el.set("pattern", pattern)
+    for fmodel in interface.fmodels.values():
+        fmodel_el = ET.SubElement(root, "fmodel")
+        fmodel_el.set("name", fmodel.name)
+        for name, fpat in fmodel.items():
+            fpattern_el = ET.SubElement(fmodel_el, "fpattern")
+            fpattern_el.set("name", name)
+            fpattern_el.append(fpat_to_element(fpat))
+    for operation in interface.operations.values():
+        root.append(_operation_to_element(operation))
+    for equivalence in interface.equivalences:
+        root.append(_equivalence_to_element(equivalence))
+    return root
+
+
+def interface_to_xml(interface: SourceInterface) -> str:
+    """Serialize a source interface to an XML string."""
+    return ET.tostring(interface_to_element(interface), encoding="unicode")
+
+
+def element_to_interface(root: ET.Element) -> SourceInterface:
+    """Parse a source interface from its XML element."""
+    if root.tag != "interface":
+        raise XmlFormatError(f"expected <interface>, got <{root.tag}>")
+    name = root.get("name")
+    if name is None:
+        raise XmlFormatError("<interface> requires a name attribute")
+    interface = SourceInterface(name)
+    for child in root:
+        if child.tag == "structure":
+            library = PatternLibrary(child.get("name", ""))
+            for pattern_el in child:
+                if pattern_el.tag != "pattern":
+                    raise XmlFormatError("<structure> children must be <pattern>")
+                pattern_name = pattern_el.get("name")
+                if pattern_name is None:
+                    raise XmlFormatError("<pattern> requires a name attribute")
+                inner = list(pattern_el)
+                if len(inner) != 1:
+                    raise XmlFormatError("<pattern> requires exactly one child")
+                library.define(pattern_name, element_to_pattern(inner[0]))
+            interface.add_structure(library)
+        elif child.tag == "document":
+            interface.add_document(
+                _required(child, "name"),
+                _required(child, "model"),
+                _required(child, "pattern"),
+            )
+        elif child.tag == "fmodel":
+            fmodel = FModel(_required(child, "name"))
+            for fpattern_el in child:
+                if fpattern_el.tag != "fpattern":
+                    raise XmlFormatError("<fmodel> children must be <fpattern>")
+                inner = list(fpattern_el)
+                if len(inner) != 1:
+                    raise XmlFormatError("<fpattern> requires exactly one child")
+                fmodel.define(_required(fpattern_el, "name"), element_to_fpat(inner[0]))
+            interface.add_fmodel(fmodel)
+        elif child.tag == "operation":
+            interface.add_operation(_element_to_operation(child))
+        elif child.tag == "equivalence":
+            interface.add_equivalence(_element_to_equivalence(child))
+        else:
+            raise XmlFormatError(f"unknown interface element <{child.tag}>")
+    return interface
+
+
+def xml_to_interface(text: str) -> SourceInterface:
+    """Parse a source interface from an XML string."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"malformed XML: {exc}") from exc
+    return element_to_interface(root)
+
+
+# ---------------------------------------------------------------------------
+# Operations and equivalences
+# ---------------------------------------------------------------------------
+
+def _operation_to_element(operation: OperationDecl) -> ET.Element:
+    element = ET.Element("operation")
+    element.set("name", operation.name)
+    element.set("kind", operation.kind)
+    if operation.inputs:
+        input_el = ET.SubElement(element, "input")
+        for spec in operation.inputs:
+            input_el.append(_argspec_to_element(spec))
+    if operation.output is not None:
+        output_el = ET.SubElement(element, "output")
+        output_el.append(_argspec_to_element(operation.output))
+    return element
+
+
+def _argspec_to_element(spec: ArgSpec) -> ET.Element:
+    if spec.role == "leaf":
+        element = ET.Element("leaf")
+        element.set("label", spec.leaf_type or "")
+        return element
+    element = ET.Element("value" if spec.role == "value" else "filter")
+    element.set("model", spec.model or "")
+    element.set("pattern", spec.pattern or "")
+    return element
+
+
+def _element_to_argspec(element: ET.Element) -> ArgSpec:
+    if element.tag == "leaf":
+        return ArgSpec.leaf(_required(element, "label"))
+    if element.tag == "value":
+        return ArgSpec.value(element.get("model", ""), _required(element, "pattern"))
+    if element.tag == "filter":
+        return ArgSpec.filter(element.get("model", ""), _required(element, "pattern"))
+    raise XmlFormatError(f"unknown argument spec element <{element.tag}>")
+
+
+def _element_to_operation(element: ET.Element) -> OperationDecl:
+    name = _required(element, "name")
+    kind = element.get("kind", "algebra")
+    inputs = []
+    output: Optional[ArgSpec] = None
+    for child in element:
+        if child.tag == "input":
+            inputs = [_element_to_argspec(spec) for spec in child]
+        elif child.tag == "output":
+            specs = [_element_to_argspec(spec) for spec in child]
+            if len(specs) != 1:
+                raise XmlFormatError("<output> requires exactly one spec")
+            output = specs[0]
+        else:
+            raise XmlFormatError(f"unknown operation element <{child.tag}>")
+    return OperationDecl(name, kind, inputs, output)
+
+
+def _equivalence_to_element(equivalence: Equivalence) -> ET.Element:
+    element = ET.Element("equivalence")
+    element.set("kind", equivalence.kind)
+    if isinstance(equivalence, SelectionImplication):
+        element.set("mediator", equivalence.mediator_predicate)
+        element.set("source", equivalence.source_predicate)
+        if equivalence.argument_type:
+            element.set("argtype", equivalence.argument_type)
+        if equivalence.field_scoped:
+            element.set("scoped", "true")
+        return element
+    raise XmlFormatError(f"cannot serialize equivalence {equivalence!r}")
+
+
+def _element_to_equivalence(element: ET.Element) -> Equivalence:
+    kind = element.get("kind")
+    if kind == "selection_implication":
+        return SelectionImplication(
+            _required(element, "mediator"),
+            _required(element, "source"),
+            element.get("argtype"),
+            field_scoped=element.get("scoped") == "true",
+        )
+    raise XmlFormatError(f"unknown equivalence kind {kind!r}")
+
+
+def _required(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise XmlFormatError(f"<{element.tag}> requires a {attribute} attribute")
+    return value

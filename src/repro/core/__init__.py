@@ -1,0 +1,1 @@
+"""The paper's primary contribution: the YAT XML algebra and its optimizer."""

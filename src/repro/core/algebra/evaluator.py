@@ -1,0 +1,532 @@
+"""Plan evaluation at the mediator.
+
+The evaluator walks a plan DAG bottom-up and produces a
+:class:`~repro.core.algebra.tab.Tab`.  It is deliberately a *naive*
+iterator-style engine: the paper's point is not a fast mediator but the
+amount of work the algebraic rewritings remove, which the evaluator
+measures faithfully through :class:`~repro.core.algebra.stats.ExecutionStats`:
+
+* evaluating a ``Source`` pulls the whole named document through the
+  wrapper's XML boundary (rows=1, bytes=document size);
+* evaluating a ``Pushed`` fragment asks the wrapper to run it natively
+  and transfers only the result Tab;
+* a ``DJoin`` re-evaluates its right input once per left row, passing the
+  row as an outer environment (information passing, Section 5.3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import EvaluationError, UnknownDocumentError, UnknownSourceError
+from repro.core.algebra.bind import FilterMatcher
+from repro.core.algebra.operators import (
+    BindOp,
+    DJoinOp,
+    DistinctOp,
+    FuseOp,
+    GroupOp,
+    LiteralOp,
+    IntersectOp,
+    JoinOp,
+    MapOp,
+    Plan,
+    ProjectOp,
+    PushedOp,
+    SelectOp,
+    SortOp,
+    SourceOp,
+    TreeOp,
+    UnionOp,
+    UnitOp,
+)
+from repro.core.algebra.skolem import SkolemRegistry
+from repro.core.algebra.stats import ExecutionStats
+from repro.core.algebra.tab import Row, Tab, tab_serialized_size
+from repro.core.algebra.tree import _orderable, construct
+from repro.model.filters import MISSING, MissingValue
+from repro.model.trees import DataNode
+from repro.model.xml_io import serialized_size
+
+
+class SourceAdapter(ABC):
+    """What the evaluator needs from a wrapped source.
+
+    Implemented by the wrappers in :mod:`repro.wrappers`; tests may supply
+    lightweight fakes.
+    """
+
+    @abstractmethod
+    def document_names(self) -> Tuple[str, ...]:
+        """Names of the documents this source exports."""
+
+    @abstractmethod
+    def document(self, name: str) -> DataNode:
+        """The full tree of the named document (an expensive transfer)."""
+
+    @abstractmethod
+    def ident_index(self) -> Dict[str, DataNode]:
+        """Identifier index used to dereference references during Bind."""
+
+    @abstractmethod
+    def execute_pushed(
+        self, plan: Plan, outer: Optional[Row] = None
+    ) -> Tuple[Tab, str]:
+        """Evaluate *plan* natively; returns the result Tab and the native text."""
+
+
+class Environment:
+    """Everything a plan evaluation needs: sources, functions, counters."""
+
+    def __init__(
+        self,
+        sources: Dict[str, SourceAdapter],
+        functions: Optional[Dict[str, Callable]] = None,
+        stats: Optional[ExecutionStats] = None,
+        skolems: Optional[SkolemRegistry] = None,
+    ) -> None:
+        self.sources = dict(sources)
+        self.functions = dict(functions or {})
+        self.stats = stats if stats is not None else ExecutionStats()
+        self.skolems = skolems if skolems is not None else SkolemRegistry()
+        self._ident_index: Optional[Dict[str, DataNode]] = None
+
+    def source(self, name: str) -> SourceAdapter:
+        try:
+            return self.sources[name]
+        except KeyError:
+            raise UnknownSourceError(f"source {name!r} is not connected") from None
+
+    def ident_index(self) -> Dict[str, DataNode]:
+        """Merged identifier index across all connected sources (cached)."""
+        if self._ident_index is None:
+            merged: Dict[str, DataNode] = {}
+            for adapter in self.sources.values():
+                merged.update(adapter.ident_index())
+            self._ident_index = merged
+        return self._ident_index
+
+
+def evaluate(plan: Plan, env: Environment, outer: Optional[Row] = None) -> Tab:
+    """Evaluate *plan* to a Tab under *env* (and an optional outer row)."""
+    tab = _evaluate(plan, env, outer)
+    return tab
+
+
+def _evaluate(plan: Plan, env: Environment, outer: Optional[Row]) -> Tab:
+    if isinstance(plan, UnitOp):
+        return Tab((), [Row((), ())])
+    if isinstance(plan, LiteralOp):
+        return plan.tab
+    if isinstance(plan, SourceOp):
+        return _eval_source(plan, env)
+    if isinstance(plan, BindOp):
+        return _eval_bind(plan, env, outer)
+    if isinstance(plan, SelectOp):
+        return _eval_select(plan, env, outer)
+    if isinstance(plan, DistinctOp):
+        tab = _evaluate(plan.input, env, outer).distinct()
+        env.stats.record_operator("Distinct", len(tab))
+        return tab
+    if isinstance(plan, ProjectOp):
+        return _eval_project(plan, env, outer)
+    if isinstance(plan, JoinOp):
+        return _eval_join(plan, env, outer)
+    if isinstance(plan, DJoinOp):
+        return _eval_djoin(plan, env, outer)
+    if isinstance(plan, UnionOp):
+        return _eval_union(plan, env, outer)
+    if isinstance(plan, IntersectOp):
+        return _eval_intersect(plan, env, outer)
+    if isinstance(plan, GroupOp):
+        return _eval_group(plan, env, outer)
+    if isinstance(plan, SortOp):
+        return _eval_sort(plan, env, outer)
+    if isinstance(plan, MapOp):
+        return _eval_map(plan, env, outer)
+    if isinstance(plan, TreeOp):
+        return _eval_tree(plan, env, outer)
+    if isinstance(plan, FuseOp):
+        return _eval_fuse(plan, env, outer)
+    if isinstance(plan, PushedOp):
+        return _eval_pushed(plan, env, outer)
+    raise EvaluationError(f"cannot evaluate operator: {plan!r}")
+
+
+# ---------------------------------------------------------------------------
+# Leaf operators
+# ---------------------------------------------------------------------------
+
+def _eval_source(plan: SourceOp, env: Environment) -> Tab:
+    adapter = env.source(plan.source)
+    if plan.document not in adapter.document_names():
+        raise UnknownDocumentError(
+            f"source {plan.source!r} exports no document {plan.document!r}"
+        )
+    root = adapter.document(plan.document)
+    env.stats.record_call(plan.source)
+    env.stats.record_transfer(plan.source, rows=1, size=serialized_size(root))
+    env.stats.record_operator("Source", 1)
+    return Tab((plan.document,), [Row((plan.document,), (root,))])
+
+
+def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
+    adapter = env.source(plan.source)
+    tab, native = adapter.execute_pushed(plan.plan, outer)
+    env.stats.record_native(plan.source, native)
+    env.stats.record_call(plan.source)
+    env.stats.record_transfer(plan.source, rows=len(tab), size=tab_serialized_size(tab))
+    env.stats.record_operator("Pushed", len(tab))
+    return tab
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
+    input_tab = _evaluate(plan.input, env, outer)
+    matcher = FilterMatcher(index=env.ident_index())
+    variables = plan.filter.variables()
+    out_columns = tuple(
+        c for c in input_tab.columns if plan.keep_on or c != plan.on
+    ) + variables
+    rows: List[Row] = []
+    for row in input_tab:
+        target = _lookup(row, outer, plan.on)
+        if isinstance(target, tuple):
+            bindings = matcher.match_collection(
+                [t for t in target if isinstance(t, DataNode)], plan.filter
+            )
+        elif isinstance(target, DataNode):
+            bindings = matcher.match(target, plan.filter)
+        else:
+            bindings = []
+        base_cells = tuple(
+            row[c] for c in input_tab.columns if plan.keep_on or c != plan.on
+        )
+        for binding in bindings:
+            cells = base_cells + tuple(
+                binding.get(var, MISSING) for var in variables
+            )
+            rows.append(Row(out_columns, cells))
+    env.stats.record_operator("Bind", len(rows))
+    return Tab(out_columns, rows)
+
+
+def _eval_select(plan: SelectOp, env: Environment, outer: Optional[Row]) -> Tab:
+    input_tab = _evaluate(plan.input, env, outer)
+    rows = [
+        row
+        for row in input_tab
+        if bool(plan.predicate.evaluate(_overlay(row, outer), env.functions))
+    ]
+    env.stats.record_operator("Select", len(rows))
+    return Tab(input_tab.columns, rows)
+
+
+def _eval_project(plan: ProjectOp, env: Environment, outer: Optional[Row]) -> Tab:
+    input_tab = _evaluate(plan.input, env, outer)
+    columns = tuple(alias for _c, alias in plan.items)
+    rows = [
+        Row(columns, tuple(row[c] for c, _a in plan.items)) for row in input_tab
+    ]
+    env.stats.record_operator("Project", len(rows))
+    return Tab(columns, rows)
+
+
+def _eval_group(plan: GroupOp, env: Environment, outer: Optional[Row]) -> Tab:
+    input_tab = _evaluate(plan.input, env, outer)
+    nested_columns = tuple(c for c in input_tab.columns if c not in plan.by)
+    groups: Dict[tuple, List[Row]] = {}
+    order: List[tuple] = []
+    keys_cells: Dict[tuple, tuple] = {}
+    for row in input_tab:
+        key_cells = tuple(row[c] for c in plan.by)
+        key = Row(plan.by, key_cells)._value_key()
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+            keys_cells[key] = key_cells
+        groups[key].append(row.projected(nested_columns))
+    out_columns = plan.by + (plan.into,)
+    rows = [
+        Row(out_columns, keys_cells[key] + (tuple(groups[key]),)) for key in order
+    ]
+    env.stats.record_operator("Group", len(rows))
+    return Tab(out_columns, rows)
+
+
+def _eval_sort(plan: SortOp, env: Environment, outer: Optional[Row]) -> Tab:
+    input_tab = _evaluate(plan.input, env, outer)
+    rows = sorted(
+        input_tab.rows,
+        key=lambda row: tuple(_orderable(row[c]) for c in plan.by),
+        reverse=plan.descending,
+    )
+    env.stats.record_operator("Sort", len(rows))
+    return Tab(input_tab.columns, rows)
+
+
+def _eval_map(plan: MapOp, env: Environment, outer: Optional[Row]) -> Tab:
+    input_tab = _evaluate(plan.input, env, outer)
+    new_names = tuple(name for name, _e in plan.bindings)
+    out_columns = input_tab.columns + new_names
+    rows = []
+    for row in input_tab:
+        scoped = _overlay(row, outer)
+        computed = tuple(
+            expr.evaluate(scoped, env.functions) for _n, expr in plan.bindings
+        )
+        rows.append(Row(out_columns, row.cells + computed))
+    env.stats.record_operator("Map", len(rows))
+    return Tab(out_columns, rows)
+
+
+def _eval_tree(plan: TreeOp, env: Environment, outer: Optional[Row]) -> Tab:
+    input_tab = _evaluate(plan.input, env, outer)
+    tree = construct(input_tab, plan.constructor, env.skolems, env.functions)
+    env.stats.record_operator("Tree", 1)
+    return Tab((plan.document,), [Row((plan.document,), (tree,))])
+
+
+def _eval_fuse(plan: FuseOp, env: Environment, outer: Optional[Row]) -> Tab:
+    """Evaluate every rule and merge the documents by Skolem identifier.
+
+    The rules share ``env.skolems``, so equal Skolem arguments yield
+    equal identifiers across rules; identified root children then merge
+    (children concatenated, structural duplicates removed).
+    """
+    documents: List[DataNode] = []
+    for input_plan in plan.inputs:
+        tab = _evaluate(input_plan, env, outer)
+        if len(tab.columns) != 1 or len(tab) != 1:
+            raise EvaluationError("Fuse inputs must each build one document")
+        cell = tab.rows[0].cells[0]
+        if not isinstance(cell, DataNode):
+            raise EvaluationError("Fuse inputs must build document trees")
+        documents.append(cell)
+    fused = fuse_documents(documents)
+    env.stats.record_operator("Fuse", 1)
+    return Tab((plan.document,), [Row((plan.document,), (fused,))])
+
+
+def fuse_documents(documents: List[DataNode]) -> DataNode:
+    """Merge same-label roots: children concatenated, idents fused."""
+    label = documents[0].label
+    merged_children: List[DataNode] = []
+    by_ident: Dict[str, int] = {}
+    for document in documents:
+        if document.label != label:
+            raise EvaluationError(
+                f"cannot fuse documents with roots {label!r} and "
+                f"{document.label!r}"
+            )
+        for child in document.children:
+            if child.ident is not None and child.ident in by_ident:
+                index = by_ident[child.ident]
+                existing = merged_children[index]
+                seen = {c._value_key() for c in existing.children}
+                extra = [
+                    c for c in child.children if c._value_key() not in seen
+                ]
+                merged_children[index] = DataNode(
+                    existing.label,
+                    children=tuple(existing.children) + tuple(extra),
+                    ident=existing.ident,
+                    collection=existing.collection,
+                )
+            else:
+                if child.ident is not None:
+                    by_ident[child.ident] = len(merged_children)
+                merged_children.append(child)
+    return DataNode(
+        label, children=merged_children, ident=documents[0].ident,
+        collection=documents[0].collection,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Binary operators
+# ---------------------------------------------------------------------------
+
+def _eval_join(plan: JoinOp, env: Environment, outer: Optional[Row]) -> Tab:
+    left = _evaluate(plan.left, env, outer)
+    right = _evaluate(plan.right, env, outer)
+    out_columns = left.columns + right.columns
+
+    # Associative access (the Figure 7 payoff): equality and
+    # reference-identity predicates evaluate as hash joins; everything
+    # else falls back to the nested loop.
+    hashed = _hash_join(plan, left, right, out_columns, env, outer)
+    if hashed is not None:
+        env.stats.record_operator("Join", len(hashed))
+        return Tab(out_columns, hashed)
+
+    rows = []
+    for lrow in left:
+        for rrow in right:
+            merged = Row(out_columns, lrow.cells + rrow.cells)
+            if bool(plan.predicate.evaluate(_overlay(merged, outer), env.functions)):
+                rows.append(merged)
+    env.stats.record_operator("Join", len(rows))
+    return Tab(out_columns, rows)
+
+
+def _hash_join(
+    plan: JoinOp, left: Tab, right: Tab, out_columns, env, outer
+) -> Optional[List[Row]]:
+    """Hash-join when every conjunct is hashable; ``None`` otherwise.
+
+    Hashable conjuncts: ``Var = Var`` across the two sides (keyed by the
+    structural value), and ``ref_is($ref, $obj)`` (keyed by the reference
+    target / node identifier).
+    """
+    from repro.core.algebra.expressions import Cmp, FunCall, Var, conjuncts
+    from repro.core.algebra.tab import _cell_key
+
+    left_cols = set(left.columns)
+    right_cols = set(right.columns)
+    left_keys: List = []
+    right_keys: List = []
+    for part in conjuncts(plan.predicate):
+        if (
+            isinstance(part, Cmp)
+            and part.op == "="
+            and isinstance(part.left, Var)
+            and isinstance(part.right, Var)
+        ):
+            names = (part.left.name, part.right.name)
+            if names[0] in left_cols and names[1] in right_cols:
+                lname, rname = names
+            elif names[1] in left_cols and names[0] in right_cols:
+                rname, lname = names
+            else:
+                return None
+            left_keys.append(lambda row, n=lname: _eq_key(row[n]))
+            right_keys.append(lambda row, n=rname: _eq_key(row[n]))
+        elif (
+            isinstance(part, FunCall)
+            and part.name == "ref_is"
+            and len(part.args) == 2
+            and all(isinstance(arg, Var) for arg in part.args)
+        ):
+            ref_name, obj_name = (arg.name for arg in part.args)
+            if ref_name in left_cols and obj_name in right_cols:
+                left_keys.append(lambda row, n=ref_name: _ref_target(row[n]))
+                right_keys.append(lambda row, n=obj_name: _node_ident(row[n]))
+            elif ref_name in right_cols and obj_name in left_cols:
+                left_keys.append(lambda row, n=obj_name: _node_ident(row[n]))
+                right_keys.append(lambda row, n=ref_name: _ref_target(row[n]))
+            else:
+                return None
+        else:
+            return None
+    if not left_keys:
+        return None
+
+    buckets: Dict[tuple, List[Row]] = {}
+    for rrow in right:
+        key = tuple(k(rrow) for k in right_keys)
+        buckets.setdefault(key, []).append(rrow)
+    rows: List[Row] = []
+    for lrow in left:
+        key = tuple(k(lrow) for k in left_keys)
+        for rrow in buckets.get(key, ()):
+            rows.append(Row(out_columns, lrow.cells + rrow.cells))
+    return rows
+
+
+def _unwrap(value):
+    if isinstance(value, DataNode) and value.is_atom_leaf:
+        return value.atom
+    return value
+
+
+def _eq_key(value):
+    """Hash key mirroring ``=`` semantics (numeric cross-type equality,
+    MISSING never equal, atom leaves unwrapped)."""
+    from repro.core.algebra.tab import _cell_key
+
+    value = _unwrap(value)
+    if isinstance(value, MissingValue):
+        return ("never", object())
+    if isinstance(value, (bool, int, float)):
+        return ("num", float(value))
+    return _cell_key(value)
+
+
+def _ref_target(value):
+    if isinstance(value, DataNode) and value.is_reference:
+        return ("ident", value.ref_target)
+    return ("ident", None)
+
+
+def _node_ident(value):
+    if isinstance(value, DataNode) and value.ident is not None:
+        return ("ident", value.ident)
+    return ("ident", object())  # never joins
+
+
+def _eval_djoin(plan: DJoinOp, env: Environment, outer: Optional[Row]) -> Tab:
+    left = _evaluate(plan.left, env, outer)
+    # Column names come from the actual right-hand Tabs (a pushed fragment
+    # may order its columns differently from the static inference).
+    out_columns = plan.output_columns()
+    rows = []
+    for lrow in left:
+        inner_outer = _overlay(lrow, outer)
+        right = _evaluate(plan.right, env, inner_outer)
+        out_columns = left.columns + right.columns
+        for rrow in right:
+            rows.append(Row(out_columns, lrow.cells + rrow.cells))
+    env.stats.record_operator("DJoin", len(rows))
+    return Tab(out_columns, rows)
+
+
+def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
+    left = _evaluate(plan.left, env, outer)
+    right = _evaluate(plan.right, env, outer)
+    if left.columns != right.columns:
+        right = right.project(left.columns)
+    combined = Tab(left.columns, tuple(left.rows) + tuple(right.rows)).distinct()
+    env.stats.record_operator("Union", len(combined))
+    return combined
+
+def _eval_intersect(plan: IntersectOp, env: Environment, outer: Optional[Row]) -> Tab:
+    left = _evaluate(plan.left, env, outer)
+    right = _evaluate(plan.right, env, outer)
+    if left.columns != right.columns:
+        right = right.project(left.columns)
+    right_keys = {row._value_key() for row in right}
+    result = Tab(
+        left.columns, [row for row in left if row._value_key() in right_keys]
+    ).distinct()
+    env.stats.record_operator("Intersect", len(result))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Outer-environment helpers
+# ---------------------------------------------------------------------------
+
+def _lookup(row: Row, outer: Optional[Row], column: str):
+    """Resolve *column* in the row, falling back to the outer environment."""
+    if column in row:
+        return row[column]
+    if outer is not None and column in outer:
+        return outer[column]
+    raise EvaluationError(
+        f"Bind target ${column} is neither a local nor an outer column"
+    )
+
+
+def _overlay(row: Row, outer: Optional[Row]) -> Row:
+    """A row whose lookups fall back to *outer* for missing columns."""
+    if outer is None:
+        return row
+    extra_columns = tuple(c for c in outer.columns if c not in row)
+    if not extra_columns:
+        return row
+    return row.extended(extra_columns, tuple(outer[c] for c in extra_columns))

@@ -1,0 +1,318 @@
+"""Scalar expressions and predicates over Tab rows.
+
+Expressions appear in ``Select`` and ``Join`` predicates, in ``Map``
+bindings and in ``Tree`` constructors.  The vocabulary is deliberately
+small — variables, constants, comparisons, boolean connectives and named
+function calls — because the paper extends it through *declared source
+operations* (Section 4): a method like ``current_price`` or a predicate
+like ``contains`` is a :class:`FunCall` whose implementation is looked up
+in the evaluation context's function registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.model.filters import MissingValue
+from repro.model.trees import DataNode
+from repro.model.values import Atom
+
+#: Comparison operators understood by :class:`Cmp`.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Expr:
+    """Base class of expression nodes (immutable)."""
+
+    __slots__ = ()
+
+    def variables(self) -> Tuple[str, ...]:
+        """Names of the Tab columns this expression reads."""
+        seen: list = []
+        for node in self.walk():
+            if isinstance(node, Var) and node.name not in seen:
+                seen.append(node.name)
+        return tuple(seen)
+
+    def functions(self) -> Tuple[str, ...]:
+        """Names of the external functions this expression calls."""
+        seen: list = []
+        for node in self.walk():
+            if isinstance(node, FunCall) and node.name not in seen:
+                seen.append(node.name)
+        return tuple(seen)
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def evaluate(self, row, functions: Optional[Dict[str, Callable]] = None):
+        """Evaluate against a :class:`~repro.core.algebra.tab.Row`."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        """Return a copy with variables replaced per *mapping*."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Dict[str, str]) -> "Expr":
+        """Return a copy with variables renamed (old name -> new name)."""
+        return self.substitute({old: Var(new) for old, new in mapping.items()})
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return self.text()
+
+    def text(self) -> str:
+        """Concrete-syntax rendering (used in plan pretty-printing)."""
+        raise NotImplementedError
+
+
+class Var(Expr):
+    """Reference to a Tab column, e.g. ``$y``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, row, functions=None):
+        return row[self.name]
+
+    def substitute(self, mapping):
+        return mapping.get(self.name, self)
+
+    def _key(self):
+        return ("var", self.name)
+
+    def text(self):
+        return f"${self.name}"
+
+
+class Const(Expr):
+    """A literal atom."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Atom) -> None:
+        self.value = value
+
+    def evaluate(self, row, functions=None):
+        return self.value
+
+    def substitute(self, mapping):
+        return self
+
+    def _key(self):
+        return ("const", type(self.value).__name__, self.value)
+
+    def text(self):
+        return repr(self.value)
+
+
+class Cmp(Expr):
+    """A comparison: ``left op right`` with op in ``=,!=,<,<=,>,>=``.
+
+    Comparisons involving :data:`MISSING` are false (三-valued logic
+    collapsed to two values, as in SQL's ``WHERE``).  DataNode operands
+    that are atom leaves compare by their atom value, so ``$t = $t'``
+    works whether the variables bound atoms or leaf nodes.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in COMPARISON_OPS:
+            raise EvaluationError(f"unknown comparison operator: {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, row, functions=None):
+        left = _comparable(self.left.evaluate(row, functions))
+        right = _comparable(self.right.evaluate(row, functions))
+        if isinstance(left, MissingValue) or isinstance(right, MissingValue):
+            return False
+        if self.op == "=":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        try:
+            if self.op == "<":
+                return left < right
+            if self.op == "<=":
+                return left <= right
+            if self.op == ">":
+                return left > right
+            return left >= right
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from exc
+
+    def substitute(self, mapping):
+        return Cmp(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def _key(self):
+        return ("cmp", self.op, self.left._key(), self.right._key())
+
+    def text(self):
+        return f"{self.left.text()} {self.op} {self.right.text()}"
+
+
+class BoolAnd(Expr):
+    """Conjunction of predicates."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[Expr]) -> None:
+        self.operands = tuple(operands)
+
+    def children(self):
+        return self.operands
+
+    def evaluate(self, row, functions=None):
+        return all(bool(op.evaluate(row, functions)) for op in self.operands)
+
+    def substitute(self, mapping):
+        return BoolAnd([op.substitute(mapping) for op in self.operands])
+
+    def _key(self):
+        return ("and",) + tuple(op._key() for op in self.operands)
+
+    def text(self):
+        return " AND ".join(f"({op.text()})" for op in self.operands)
+
+
+class BoolOr(Expr):
+    """Disjunction of predicates."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[Expr]) -> None:
+        self.operands = tuple(operands)
+
+    def children(self):
+        return self.operands
+
+    def evaluate(self, row, functions=None):
+        return any(bool(op.evaluate(row, functions)) for op in self.operands)
+
+    def substitute(self, mapping):
+        return BoolOr([op.substitute(mapping) for op in self.operands])
+
+    def _key(self):
+        return ("or",) + tuple(op._key() for op in self.operands)
+
+    def text(self):
+        return " OR ".join(f"({op.text()})" for op in self.operands)
+
+
+class BoolNot(Expr):
+    """Negation of a predicate."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+    def evaluate(self, row, functions=None):
+        return not bool(self.operand.evaluate(row, functions))
+
+    def substitute(self, mapping):
+        return BoolNot(self.operand.substitute(mapping))
+
+    def _key(self):
+        return ("not", self.operand._key())
+
+    def text(self):
+        return f"NOT ({self.operand.text()})"
+
+
+class FunCall(Expr):
+    """A call to a named external function (declared source operation).
+
+    The implementation is resolved at evaluation time in the function
+    registry: ``contains``, ``current_price``, etc.  The mediator provides
+    registry entries for operations it can evaluate itself; operations it
+    cannot evaluate must be pushed to the source that declared them.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]) -> None:
+        self.name = name
+        self.args = tuple(args)
+
+    def children(self):
+        return self.args
+
+    def evaluate(self, row, functions=None):
+        if not functions or self.name not in functions:
+            raise EvaluationError(
+                f"no implementation for function {self.name!r} at the mediator; "
+                "it must be pushed to the source that declared it"
+            )
+        values = [arg.evaluate(row, functions) for arg in self.args]
+        return functions[self.name](*values)
+
+    def substitute(self, mapping):
+        return FunCall(self.name, [arg.substitute(mapping) for arg in self.args])
+
+    def _key(self):
+        return ("fun", self.name) + tuple(arg._key() for arg in self.args)
+
+    def text(self):
+        return f"{self.name}({', '.join(arg.text() for arg in self.args)})"
+
+
+def _comparable(value):
+    """Unwrap atom leaves so comparisons act on values, not nodes."""
+    if isinstance(value, DataNode) and value.is_atom_leaf:
+        return value.atom
+    return value
+
+
+def conjuncts(predicate: Expr) -> Tuple[Expr, ...]:
+    """Flatten nested conjunctions into a tuple of conjuncts."""
+    if isinstance(predicate, BoolAnd):
+        result: list = []
+        for operand in predicate.operands:
+            result.extend(conjuncts(operand))
+        return tuple(result)
+    return (predicate,)
+
+
+def conjunction(predicates: Sequence[Expr]) -> Expr:
+    """Inverse of :func:`conjuncts`: build a single predicate."""
+    predicates = tuple(predicates)
+    if not predicates:
+        return Const(True)
+    if len(predicates) == 1:
+        return predicates[0]
+    return BoolAnd(predicates)
+
+
+def eq(left: Expr, right: Expr) -> Cmp:
+    """Shorthand for an equality comparison."""
+    return Cmp("=", left, right)

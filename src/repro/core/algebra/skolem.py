@@ -1,0 +1,51 @@
+"""Skolem functions: stable identifier creation with side effects.
+
+"Skolem functions are used to create new identifiers and perform value
+assignment ...  Skolem functions do not create values but have side
+effects on the integrated view and are somehow orthogonal to the rest of
+the algebra" (paper, Section 3.1).
+
+A :class:`SkolemRegistry` maps ``(function name, argument values)`` pairs
+to identifiers: the first call mints a fresh identifier, later calls with
+equal arguments return the same one.  This is what makes *object fusion*
+work: two rules (or two rows) constructing ``artwork($t, $c)`` with the
+same title and creator contribute to the same output tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.algebra.tab import _cell_key
+
+
+class SkolemRegistry:
+    """Mint stable identifiers for (function, arguments) pairs."""
+
+    def __init__(self) -> None:
+        self._idents: Dict[Tuple[str, tuple], str] = {}
+        self._counters: Dict[str, int] = {}
+
+    def ident(self, function: str, args: tuple) -> str:
+        """The identifier for ``function(*args)``; minted on first use.
+
+        Arguments are compared by structural value (atoms by value, trees
+        by shape), so the identity is deterministic across evaluations of
+        the same data.
+        """
+        key = (function, tuple(_cell_key(arg) for arg in args))
+        ident = self._idents.get(key)
+        if ident is None:
+            count = self._counters.get(function, 0) + 1
+            self._counters[function] = count
+            ident = f"{function}_{count}"
+            self._idents[key] = ident
+        return ident
+
+    def known(self, function: str, args: tuple) -> bool:
+        """``True`` when an identifier was already minted for these arguments."""
+        key = (function, tuple(_cell_key(arg) for arg in args))
+        return key in self._idents
+
+    def __len__(self) -> int:
+        return len(self._idents)

@@ -1,0 +1,121 @@
+"""Execution statistics: what the paper's optimizations actually save.
+
+Capability-based pushdown exists "to minimize the communication costs
+between the sources and the mediator, as well as the conversion costs to
+the middleware model" (paper, Section 5.3).  :class:`ExecutionStats`
+measures exactly those quantities during plan evaluation:
+
+* ``rows_transferred`` / ``bytes_transferred`` — data crossing a wrapper
+  boundary (whole documents for ``Source``, result Tabs for ``Pushed``),
+  per source and in total;
+* ``source_calls`` — round trips to each wrapper (a DJoin with
+  information passing makes one call per outer row);
+* ``mediator_rows`` — rows processed by mediator-side operators;
+* ``operator_counts`` — evaluations per operator kind.
+
+Benchmarks report these alongside wall-clock time, because the shape of
+the paper's claims is about transfer and processing, not absolute speed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+
+class ExecutionStats:
+    """Mutable counters filled in by the evaluator."""
+
+    def __init__(self) -> None:
+        self.rows_transferred: Counter = Counter()
+        self.bytes_transferred: Counter = Counter()
+        self.source_calls: Counter = Counter()
+        self.operator_counts: Counter = Counter()
+        self.mediator_rows: int = 0
+        #: ``(source, native text)`` for every query a wrapper executed,
+        #: in execution order (a bind join appends one entry per call).
+        self.native_queries: list = []
+
+    # -- recording -----------------------------------------------------------
+
+    def record_transfer(self, source: str, rows: int, size: int) -> None:
+        """Record *rows* rows / *size* bytes received from *source*."""
+        self.rows_transferred[source] += rows
+        self.bytes_transferred[source] += size
+
+    def record_call(self, source: str) -> None:
+        """Record one round trip to *source*."""
+        self.source_calls[source] += 1
+
+    def record_native(self, source: str, native: str) -> None:
+        """Record the native query text a wrapper executed."""
+        self.native_queries.append((source, native))
+
+    def distinct_native_queries(self):
+        """Native queries with duplicates removed, order preserved."""
+        seen = set()
+        result = []
+        for source, native in self.native_queries:
+            if (source, native) not in seen:
+                seen.add((source, native))
+                result.append((source, native))
+        return result
+
+    def record_operator(self, name: str, rows_out: int) -> None:
+        """Record one evaluation of operator *name* producing *rows_out* rows."""
+        self.operator_counts[name] += 1
+        self.mediator_rows += rows_out
+
+    # -- totals ---------------------------------------------------------------
+
+    @property
+    def total_rows_transferred(self) -> int:
+        return sum(self.rows_transferred.values())
+
+    @property
+    def total_bytes_transferred(self) -> int:
+        return sum(self.bytes_transferred.values())
+
+    @property
+    def total_source_calls(self) -> int:
+        return sum(self.source_calls.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary summary, convenient for benchmark reports."""
+        return {
+            "rows_transferred": dict(self.rows_transferred),
+            "bytes_transferred": dict(self.bytes_transferred),
+            "source_calls": dict(self.source_calls),
+            "operator_counts": dict(self.operator_counts),
+            "mediator_rows": self.mediator_rows,
+            "total_rows_transferred": self.total_rows_transferred,
+            "total_bytes_transferred": self.total_bytes_transferred,
+            "total_source_calls": self.total_source_calls,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"transferred: {self.total_rows_transferred} rows, "
+            f"{self.total_bytes_transferred} bytes over "
+            f"{self.total_source_calls} source calls",
+        ]
+        for source in sorted(self.bytes_transferred):
+            lines.append(
+                f"  from {source}: {self.rows_transferred[source]} rows, "
+                f"{self.bytes_transferred[source]} bytes, "
+                f"{self.source_calls[source]} calls"
+            )
+        lines.append(f"mediator rows processed: {self.mediator_rows}")
+        ops = ", ".join(
+            f"{name}×{count}" for name, count in sorted(self.operator_counts.items())
+        )
+        lines.append(f"operators: {ops}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionStats(rows={self.total_rows_transferred}, "
+            f"bytes={self.total_bytes_transferred}, "
+            f"calls={self.total_source_calls})"
+        )

@@ -1,0 +1,337 @@
+"""The ``Tab`` structure: a ¬1NF relation over variable bindings.
+
+"Starting from an arbitrary XML structure, we apply an operator, called
+Bind, whose purpose is to extract the relevant information and produce a
+structure, called Tab, comparable to a ¬1NF relation" (paper, Section 3.1).
+
+A :class:`Tab` has named columns (the filter variables, without the ``$``
+sigil) and rows of cells.  A cell holds:
+
+* an atom (``int``/``float``/``str``/``bool``) — a bound leaf value,
+* a :class:`~repro.model.trees.DataNode` — a bound subtree,
+* a tuple of cells — a bound *collection* (edge variables like
+  ``$fields`` in Figure 4, or the output of ``Group``),
+* :data:`~repro.model.filters.MISSING` — an optional item that matched
+  nothing.
+
+Tabs are the unit of exchange between wrappers and the mediator: a pushed
+``Bind`` returns a Tab serialized in XML, and
+:func:`tab_to_xml`/:func:`xml_to_tab` define that wire format.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Callable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import AlgebraError, UnknownVariableError, XmlFormatError
+from repro.model.filters import MISSING, MissingValue
+from repro.model.trees import DataNode
+from repro.model.values import atom_type_name, is_atom, parse_atom
+from repro.model.xml_io import (
+    decode_atom_text,
+    element_to_tree,
+    encode_atom_text,
+    tree_to_element,
+)
+
+Cell = object  # Atom | DataNode | tuple | MissingValue
+
+
+class Row:
+    """One row of a :class:`Tab`: an immutable mapping column -> cell."""
+
+    __slots__ = ("_columns", "_cells")
+
+    def __init__(self, columns: Sequence[str], cells: Sequence[Cell]) -> None:
+        if len(columns) != len(cells):
+            raise AlgebraError(
+                f"row arity mismatch: {len(columns)} columns, {len(cells)} cells"
+            )
+        self._columns = tuple(columns)
+        self._cells = tuple(cells)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self._columns
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        return self._cells
+
+    def __getitem__(self, column: str) -> Cell:
+        try:
+            return self._cells[self._columns.index(column)]
+        except ValueError:
+            raise UnknownVariableError(
+                f"unknown variable ${column}; row has {list(self._columns)}"
+            ) from None
+
+    def get(self, column: str, default: Cell = None) -> Cell:
+        """Like ``dict.get`` over the row's columns."""
+        if column in self._columns:
+            return self[column]
+        return default
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def as_dict(self) -> dict:
+        """A fresh ``{column: cell}`` dictionary for this row."""
+        return dict(zip(self._columns, self._cells))
+
+    def extended(self, columns: Sequence[str], cells: Sequence[Cell]) -> "Row":
+        """A new row with extra columns appended."""
+        return Row(self._columns + tuple(columns), self._cells + tuple(cells))
+
+    def projected(self, columns: Sequence[str]) -> "Row":
+        """A new row restricted to *columns*, in the given order."""
+        return Row(tuple(columns), tuple(self[c] for c in columns))
+
+    def renamed(self, mapping: dict) -> "Row":
+        """A new row with columns renamed through *mapping* (old -> new)."""
+        return Row(
+            tuple(mapping.get(c, c) for c in self._columns), self._cells
+        )
+
+    def _value_key(self) -> tuple:
+        return (self._columns, tuple(_cell_key(cell) for cell in self._cells))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._value_key() == other._value_key()
+
+    def __hash__(self) -> int:
+        return hash(self._value_key())
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"${c}={v!r}" for c, v in zip(self._columns, self._cells))
+        return f"Row({pairs})"
+
+
+def _cell_key(cell: Cell) -> object:
+    """Hashable structural key for a cell (used for set semantics)."""
+    if isinstance(cell, tuple):
+        return ("coll",) + tuple(_cell_key(item) for item in cell)
+    if isinstance(cell, DataNode):
+        return ("node", cell._value_key())
+    if isinstance(cell, MissingValue):
+        return ("missing",)
+    if isinstance(cell, Row):
+        return ("row", cell._value_key())
+    return ("atom", type(cell).__name__, cell)
+
+
+class Tab:
+    """A ¬1NF relation: named columns plus a sequence of rows."""
+
+    __slots__ = ("_columns", "_rows")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        self._columns = tuple(columns)
+        rows = tuple(rows)
+        for row in rows:
+            if row.columns != self._columns:
+                raise AlgebraError(
+                    f"row columns {row.columns} do not match tab columns {self._columns}"
+                )
+        self._rows = rows
+
+    @classmethod
+    def from_dicts(cls, columns: Sequence[str], dicts: Iterable[dict]) -> "Tab":
+        """Build a Tab from dictionaries (missing keys become MISSING)."""
+        columns = tuple(columns)
+        rows = [
+            Row(columns, tuple(d.get(c, MISSING) for c in columns)) for d in dicts
+        ]
+        return cls(columns, rows)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self._columns
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tab):
+            return NotImplemented
+        return self._columns == other._columns and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Tab({list(self._columns)}, {len(self._rows)} rows)"
+
+    # -- algebra-support helpers -------------------------------------------
+
+    def project(self, columns: Sequence[str]) -> "Tab":
+        """Restrict every row to *columns* (order preserved as given)."""
+        return Tab(tuple(columns), [row.projected(columns) for row in self._rows])
+
+    def rename(self, mapping: dict) -> "Tab":
+        """Rename columns through *mapping* (old -> new)."""
+        return Tab(
+            tuple(mapping.get(c, c) for c in self._columns),
+            [row.renamed(mapping) for row in self._rows],
+        )
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Tab":
+        """Keep rows satisfying *predicate*."""
+        return Tab(self._columns, [row for row in self._rows if predicate(row)])
+
+    def distinct(self) -> "Tab":
+        """Remove duplicate rows (structural value equality)."""
+        seen = set()
+        kept: List[Row] = []
+        for row in self._rows:
+            key = row._value_key()
+            if key not in seen:
+                seen.add(key)
+                kept.append(row)
+        return Tab(self._columns, kept)
+
+    def extend(self, columns: Sequence[str], compute: Callable[[Row], Sequence[Cell]]) -> "Tab":
+        """Append computed columns to every row."""
+        new_columns = self._columns + tuple(columns)
+        rows = [row.extended(columns, compute(row)) for row in self._rows]
+        return Tab(new_columns, rows)
+
+    def sorted_by(self, key: Callable[[Row], object], reverse: bool = False) -> "Tab":
+        """Rows sorted by *key*."""
+        return Tab(self._columns, sorted(self._rows, key=key, reverse=reverse))
+
+    def pretty(self, limit: int = 20) -> str:
+        """Plain-text table rendering for examples and debugging."""
+        header = " | ".join(f"${c}" for c in self._columns)
+        lines = [header, "-" * len(header)]
+        for row in self._rows[:limit]:
+            lines.append(" | ".join(_cell_text(cell) for cell in row.cells))
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+def _cell_text(cell: Cell) -> str:
+    if isinstance(cell, DataNode):
+        if cell.is_atom_leaf:
+            return f"<{cell.label}>{cell.atom}</{cell.label}>"
+        return f"<{cell.label}.../> ({len(cell.children)} children)"
+    if isinstance(cell, tuple):
+        return "{" + ", ".join(_cell_text(item) for item in cell) + "}"
+    return repr(cell)
+
+
+# ---------------------------------------------------------------------------
+# XML wire format (wrapper boundary)
+# ---------------------------------------------------------------------------
+
+def tab_to_element(tab: Tab) -> ET.Element:
+    """Serialize a Tab to its XML wire element.
+
+    Format::
+
+        <tab columns="t a fields">
+          <row>
+            <cell var="t" type="String">Nympheas</cell>
+            <cell var="a" type="String">Claude Monet</cell>
+            <cell var="fields"><coll><history>...</history></coll></cell>
+          </row>
+          ...
+        </tab>
+    """
+    root = ET.Element("tab")
+    root.set("columns", " ".join(tab.columns))
+    for row in tab.rows:
+        row_el = ET.SubElement(root, "row")
+        for column, cell in zip(row.columns, row.cells):
+            cell_el = ET.SubElement(row_el, "cell")
+            cell_el.set("var", column)
+            _cell_into_element(cell, cell_el)
+    return root
+
+
+def _cell_into_element(cell: Cell, cell_el: ET.Element) -> None:
+    if isinstance(cell, MissingValue):
+        cell_el.set("missing", "true")
+    elif is_atom(cell):
+        cell_el.set("type", atom_type_name(cell))
+        text, encoding = encode_atom_text(cell)
+        if encoding is not None:
+            cell_el.set("enc", encoding)
+        cell_el.text = text
+    elif isinstance(cell, DataNode):
+        cell_el.append(tree_to_element(cell))
+    elif isinstance(cell, tuple):
+        coll = ET.SubElement(cell_el, "coll")
+        for item in cell:
+            item_el = ET.SubElement(coll, "item")
+            _cell_into_element(item, item_el)
+    else:
+        raise XmlFormatError(f"cannot serialize cell: {cell!r}")
+
+
+def tab_to_xml(tab: Tab) -> str:
+    """Serialize a Tab to an XML string."""
+    return ET.tostring(tab_to_element(tab), encoding="unicode")
+
+
+def element_to_tab(root: ET.Element) -> Tab:
+    """Parse a Tab wire element back into a :class:`Tab`."""
+    if root.tag != "tab":
+        raise XmlFormatError(f"expected <tab>, got <{root.tag}>")
+    columns_attr = root.get("columns", "")
+    columns = tuple(columns_attr.split()) if columns_attr else ()
+    rows = []
+    for row_el in root:
+        if row_el.tag != "row":
+            raise XmlFormatError(f"expected <row>, got <{row_el.tag}>")
+        cells = {}
+        for cell_el in row_el:
+            var = cell_el.get("var")
+            if var is None:
+                raise XmlFormatError("<cell> requires a var attribute")
+            cells[var] = _element_to_cell(cell_el)
+        rows.append(Row(columns, tuple(cells.get(c, MISSING) for c in columns)))
+    return Tab(columns, rows)
+
+
+def _element_to_cell(cell_el: ET.Element) -> Cell:
+    if cell_el.get("missing") == "true":
+        return MISSING
+    type_name = cell_el.get("type")
+    if type_name is not None:
+        text = decode_atom_text(cell_el.text or "", cell_el.get("enc"))
+        try:
+            return parse_atom(type_name, text)
+        except ValueError as exc:
+            raise XmlFormatError(f"bad cell atom: {exc}") from exc
+    children = list(cell_el)
+    if len(children) == 1 and children[0].tag == "coll":
+        items = []
+        for item_el in children[0]:
+            items.append(_element_to_cell(item_el))
+        return tuple(items)
+    if len(children) == 1:
+        return element_to_tree(children[0])
+    raise XmlFormatError("cell must hold an atom, one tree, or one <coll>")
+
+
+def xml_to_tab(text: str) -> Tab:
+    """Parse an XML string into a :class:`Tab`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"malformed XML: {exc}") from exc
+    return element_to_tab(root)
+
+
+def tab_serialized_size(tab: Tab) -> int:
+    """UTF-8 byte size of the Tab's XML serialization (transfer cost)."""
+    return len(tab_to_xml(tab).encode("utf-8"))

@@ -1,0 +1,224 @@
+"""Bind–Tree composition elimination (paper, Section 5.2, Figure 8).
+
+When a user query is composed with a view definition, a ``Bind`` ends up
+reading the output of a ``Tree`` — "the frontier between view definition
+and query".  Materializing the view just to pattern-match it again is the
+naive strategy; this module eliminates the ``Bind``–``Tree`` pair by
+resolving the query's filter *symbolically* against the view's
+constructor:
+
+* a filter variable over a constructed leaf becomes a **renaming** of the
+  underlying Tab column ("a simple projection with renaming");
+* a filter constant over a constructed leaf becomes a **selection** on
+  the underlying column;
+* filter navigation into a *spliced collection* (the semistructured
+  ``more: $fields`` part) becomes a **residual Bind on the column** —
+  the collection's trees are already in the Tab, no materialization
+  needed;
+* a filter label the constructor can never produce proves the query
+  **empty** (rewritten to ``Select(false)``).
+
+The rewrite preserves set semantics: the view's grouping may collapse
+several Tab rows into one tree, so the result is wrapped in ``Distinct``.
+If the query's own variables collide with the view's internal columns in
+an unresolvable way, or the filter uses features that cannot be resolved
+statically (tree variables over constructed nodes, label variables, rest
+variables), the rule conservatively declines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.algebra.expressions import (
+    Cmp,
+    Const,
+    Expr,
+    Var,
+    conjunction,
+)
+from repro.core.algebra.operators import (
+    BindOp,
+    DistinctOp,
+    Plan,
+    ProjectOp,
+    SelectOp,
+    TreeOp,
+)
+from repro.core.algebra.tree import (
+    CElem,
+    CGroup,
+    CIterate,
+    CLeaf,
+    CRef,
+    CValue,
+    Constructor,
+)
+from repro.core.optimizer.rules import OptimizerContext, RewriteRule
+from repro.model.filters import (
+    FConst,
+    FElem,
+    Filter,
+    FStar,
+    FVar,
+)
+
+
+class _Unresolvable(Exception):
+    """Internal: the filter cannot be resolved statically; decline."""
+
+
+class _Empty(Exception):
+    """Internal: the filter provably matches nothing; query is empty."""
+
+
+class _Resolution:
+    """Accumulates the outcome of the symbolic match."""
+
+    def __init__(self) -> None:
+        # query variable -> expression over the base Tab
+        self.assignments: Dict[str, Expr] = {}
+        # predicates over the base Tab (from constants in the filter)
+        self.predicates: List[Expr] = []
+        # (base column holding a collection, residual filter) pairs
+        self.residuals: List[Tuple[str, Filter]] = []
+
+
+class BindTreeEliminationRule(RewriteRule):
+    """``Bind(Tree(base))``  ⇒  ``Distinct(Project(residual Binds(base)))``."""
+
+    name = "BindTreeElimination"
+
+    def apply(self, plan: Plan, context: OptimizerContext) -> Optional[Plan]:
+        if not isinstance(plan, BindOp) or not isinstance(plan.input, TreeOp):
+            return None
+        tree = plan.input
+        if plan.on != tree.document or plan.keep_on:
+            return None
+        if not isinstance(tree.constructor, CElem):
+            return None
+        resolution = _Resolution()
+        try:
+            _resolve_elem(plan.filter, tree.constructor, resolution)
+        except _Unresolvable:
+            return None
+        except _Empty:
+            return SelectOp(tree.input, Const(False))
+
+        base_columns = set(tree.input.output_columns())
+        residual_vars = [
+            name
+            for _column, residual in resolution.residuals
+            for name in residual.variables()
+        ]
+        # Declines on unresolvable name collisions between the query's
+        # residual variables and the view's internal columns.
+        if any(name in base_columns for name in residual_vars):
+            return None
+
+        result: Plan = tree.input
+        if resolution.predicates:
+            result = SelectOp(result, conjunction(resolution.predicates))
+        for column, residual in resolution.residuals:
+            if column not in base_columns:
+                return None
+            result = BindOp(result, residual, on=column, keep_on=True)
+
+        items: List[Tuple[str, str]] = []
+        for query_var, expr in resolution.assignments.items():
+            if not isinstance(expr, Var):
+                return None  # only renamings are projectable
+            items.append((expr.name, query_var))
+        for name in residual_vars:
+            items.append((name, name))
+        wanted = set(plan.filter.variables())
+        items = [(column, alias) for column, alias in items if alias in wanted]
+        if {alias for _c, alias in items} != wanted:
+            return None  # some query variable could not be resolved
+        return DistinctOp(ProjectOp(result, items))
+
+
+# ---------------------------------------------------------------------------
+# Symbolic resolution
+# ---------------------------------------------------------------------------
+
+def _constructed_items(children: Sequence[Constructor]):
+    """Flatten grouping/iteration wrappers: they change multiplicity, not
+    shape, and multiplicity is restored by ``Distinct`` at the end."""
+    items: List[Constructor] = []
+    for child in children:
+        if isinstance(child, (CGroup, CIterate)):
+            items.extend(_constructed_items([child.child]
+                                            if isinstance(child, CGroup)
+                                            else [child.child]))
+        else:
+            items.append(child)
+    return items
+
+
+def _resolve_elem(flt: Filter, ctor: CElem, resolution: _Resolution) -> None:
+    """Match an element filter against an element constructor."""
+    if not isinstance(flt, FElem):
+        raise _Unresolvable
+    if not isinstance(flt.label, str):
+        raise _Unresolvable  # label variables/regexes: not resolvable statically
+    if flt.label != ctor.label:
+        raise _Empty
+    if flt.var is not None:
+        raise _Unresolvable  # tree variable over a constructed node
+    items = _constructed_items(ctor.children)
+    for child in flt.children:
+        _resolve_child(child, items, resolution)
+
+
+def _resolve_child(
+    child: Filter, items: Sequence[Constructor], resolution: _Resolution
+) -> None:
+    if isinstance(child, FStar):
+        _resolve_child(child.child, items, resolution)
+        return
+    if not isinstance(child, FElem) or not isinstance(child.label, str):
+        raise _Unresolvable
+    label = child.label
+    splice_columns: List[str] = []
+    for item in items:
+        if isinstance(item, CElem) and item.label == label:
+            _resolve_elem(child, item, resolution)
+            return
+        if isinstance(item, CLeaf) and item.label == label:
+            _resolve_leaf(child, item, resolution)
+            return
+        if isinstance(item, CValue) and isinstance(item.expr, Var):
+            splice_columns.append(item.expr.name)
+        if isinstance(item, CRef):
+            continue  # references are opaque to filters
+    if splice_columns:
+        # The label may come from a spliced collection: navigate it with a
+        # residual Bind on the column.
+        resolution.residuals.append((splice_columns[0], child))
+        return
+    raise _Empty  # the constructor can never produce this label
+
+
+def _resolve_leaf(flt: FElem, leaf: CLeaf, resolution: _Resolution) -> None:
+    """Match filter content against a ``label: expr`` constructor field."""
+    if not flt.children:
+        return  # pure existence test: constructed fields always exist
+    if len(flt.children) != 1:
+        raise _Unresolvable
+    content = flt.children[0]
+    if isinstance(content, FVar):
+        if content.name in resolution.assignments:
+            raise _Unresolvable
+        resolution.assignments[content.name] = leaf.expr
+        return
+    if isinstance(content, FConst):
+        resolution.predicates.append(Cmp("=", leaf.expr, Const(content.value)))
+        return
+    if isinstance(content, (FElem, FStar)) and isinstance(leaf.expr, Var):
+        # Navigation below a field built from a bound collection
+        # (``more: $fields`` then ``more.cplace``): residual Bind.
+        inner = content.child if isinstance(content, FStar) else content
+        resolution.residuals.append((leaf.expr.name, inner))
+        return
+    raise _Unresolvable

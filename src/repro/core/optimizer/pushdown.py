@@ -1,0 +1,276 @@
+"""Classical pushdown rewritings, adapted to the YAT algebra.
+
+"Optimization techniques from relational and object databases can be
+applied directly on the corresponding operations in our algebra"
+(Section 5).  These are the workhorses of the Figure 8 derivation:
+
+* :class:`SelectPushdownRule` — move selection conjuncts below joins,
+  dependency joins, projections, binds and distincts, as far as their
+  variables allow;
+* :class:`ProjectComposeRule` — collapse stacked projections;
+* :class:`DropNoopProjectRule` — remove identity projections;
+* :class:`JoinBranchEliminationRule` — "because all artifacts are
+  available in the XML source, we can ... eliminate the branch
+  corresponding to the O2 source": when the columns required above a join
+  all come from one side, the join predicate is a pure cross-side
+  equality, and the administrator has *declared* the containment that
+  makes the join lossless, the other branch disappears.
+
+Join-branch elimination is only sound under set semantics (a dropped
+branch may have changed row multiplicities); the Bind–Tree elimination
+that creates these opportunities always leaves a ``Distinct`` above.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.core.algebra.expressions import (
+    Cmp,
+    Expr,
+    Var,
+    conjunction,
+    conjuncts,
+)
+from repro.core.algebra.operators import (
+    BindOp,
+    DJoinOp,
+    DistinctOp,
+    JoinOp,
+    Plan,
+    ProjectOp,
+    SelectOp,
+    SourceOp,
+)
+from repro.core.optimizer.rules import OptimizerContext, RewriteRule
+
+
+class SelectPushdownRule(RewriteRule):
+    """Push selection conjuncts as deep as their variables allow."""
+
+    name = "SelectPushdown"
+
+    def apply(self, plan: Plan, context: OptimizerContext) -> Optional[Plan]:
+        if not isinstance(plan, SelectOp):
+            return None
+        child = plan.input
+        parts = list(conjuncts(plan.predicate))
+
+        if isinstance(child, JoinOp):
+            return self._through_join(parts, child)
+        if isinstance(child, DJoinOp):
+            return self._through_djoin(parts, child)
+        if isinstance(child, ProjectOp):
+            return self._through_project(parts, child)
+        if isinstance(child, DistinctOp):
+            return DistinctOp(SelectOp(child.input, plan.predicate))
+        if isinstance(child, BindOp):
+            return self._through_bind(parts, child)
+        if isinstance(child, SelectOp):
+            # Canonicalize stacked selections into one conjunction.
+            merged = conjunction(list(conjuncts(child.predicate)) + parts)
+            return SelectOp(child.input, merged)
+        return None
+
+    @staticmethod
+    def _rebuild(pushed_child: Plan, remaining: List[Expr]) -> Plan:
+        if remaining:
+            return SelectOp(pushed_child, conjunction(remaining))
+        return pushed_child
+
+    def _through_join(self, parts: List[Expr], join: JoinOp) -> Optional[Plan]:
+        left_cols = set(join.left.output_columns())
+        right_cols = set(join.right.output_columns())
+        to_left = [p for p in parts if set(p.variables()) <= left_cols]
+        to_right = [
+            p for p in parts if p not in to_left and set(p.variables()) <= right_cols
+        ]
+        if not to_left and not to_right:
+            return None
+        remaining = [p for p in parts if p not in to_left and p not in to_right]
+        left = join.left if not to_left else SelectOp(join.left, conjunction(to_left))
+        right = (
+            join.right if not to_right else SelectOp(join.right, conjunction(to_right))
+        )
+        return self._rebuild(JoinOp(left, right, join.predicate), remaining)
+
+    def _through_djoin(self, parts: List[Expr], djoin: DJoinOp) -> Optional[Plan]:
+        left_cols = set(djoin.left.output_columns())
+        to_left = [p for p in parts if set(p.variables()) <= left_cols]
+        if not to_left:
+            return None
+        remaining = [p for p in parts if p not in to_left]
+        left = SelectOp(djoin.left, conjunction(to_left))
+        return self._rebuild(DJoinOp(left, djoin.right), remaining)
+
+    def _through_project(self, parts: List[Expr], project: ProjectOp) -> Optional[Plan]:
+        # Rename predicate variables back to pre-projection columns.
+        reverse = {alias: column for column, alias in project.items}
+        pushable: List[Expr] = []
+        remaining: List[Expr] = []
+        for part in parts:
+            if set(part.variables()) <= set(reverse):
+                pushable.append(part.rename(reverse))
+            else:
+                remaining.append(part)
+        if not pushable:
+            return None
+        pushed = ProjectOp(SelectOp(project.input, conjunction(pushable)),
+                           project.items)
+        return self._rebuild(pushed, remaining)
+
+    def _through_bind(self, parts: List[Expr], bind: BindOp) -> Optional[Plan]:
+        below_cols = set(bind.input.output_columns())
+        pushable = [p for p in parts if set(p.variables()) <= below_cols]
+        if not pushable:
+            return None
+        remaining = [p for p in parts if p not in pushable]
+        pushed = BindOp(
+            SelectOp(bind.input, conjunction(pushable)),
+            bind.filter,
+            on=bind.on,
+            keep_on=bind.keep_on,
+        )
+        return self._rebuild(pushed, remaining)
+
+
+class ProjectComposeRule(RewriteRule):
+    """Collapse ``Project(Project(x))`` into one projection."""
+
+    name = "ProjectCompose"
+
+    def apply(self, plan: Plan, context: OptimizerContext) -> Optional[Plan]:
+        if not isinstance(plan, ProjectOp) or not isinstance(plan.input, ProjectOp):
+            return None
+        inner = plan.input
+        inner_map = {alias: column for column, alias in inner.items}
+        try:
+            items = [(inner_map[column], alias) for column, alias in plan.items]
+        except KeyError:
+            return None  # outer projection references a column inner dropped
+        return ProjectOp(inner.input, items)
+
+
+class DropNoopProjectRule(RewriteRule):
+    """Remove projections that keep every column unchanged."""
+
+    name = "DropNoopProject"
+
+    def apply(self, plan: Plan, context: OptimizerContext) -> Optional[Plan]:
+        if not isinstance(plan, ProjectOp):
+            return None
+        identity = all(column == alias for column, alias in plan.items)
+        if identity and plan.output_columns() == plan.input.output_columns():
+            return plan.input
+        return None
+
+
+class JoinBranchEliminationRule(RewriteRule):
+    """Drop a join branch no one needs, under a declared containment.
+
+    Looks for ``Project( [Select|Bind|Distinct]* ( Join(l, r, p) ) )``
+    where every column required above the join comes from one side, ``p``
+    is a conjunction of cross-side equalities, and the administrator
+    declared that every entity of the kept side's document has a partner
+    in the dropped side's document (``OptimizerContext.containments``).
+    """
+
+    name = "JoinBranchElimination"
+
+    def apply(self, plan: Plan, context: OptimizerContext) -> Optional[Plan]:
+        if not isinstance(plan, ProjectOp):
+            return None
+        required = {column for column, _alias in plan.items}
+        chain: List[Plan] = []
+        node: Plan = plan.input
+        while isinstance(node, (SelectOp, BindOp, DistinctOp)):
+            if isinstance(node, SelectOp):
+                required |= set(node.predicate.variables())
+            elif isinstance(node, BindOp):
+                # A Bind produces its filter variables and consumes ``on``.
+                required -= set(node.filter.variables())
+                required.add(node.on)
+            chain.append(node)
+            node = node.children()[0]
+        if not isinstance(node, JoinOp):
+            return None
+        join = node
+
+        left_cols = set(join.left.output_columns())
+        right_cols = set(join.right.output_columns())
+        pairs = self._equality_pairs(join.predicate, left_cols, right_cols)
+        if pairs is None:
+            return None
+
+        for keep, drop, keep_cols in (
+            (join.left, join.right, left_cols),
+            (join.right, join.left, right_cols),
+        ):
+            # Dropped-side columns may be recovered through the join
+            # equalities (the query's $t is the view's $t' on the kept side).
+            mapping = {
+                a: b for a, b in pairs if b in keep_cols and a not in keep_cols
+            }
+            if not all(c in keep_cols or c in mapping for c in required):
+                continue
+            keep_doc = self._single_document(keep)
+            drop_doc = self._single_document(drop)
+            if keep_doc is None or drop_doc is None:
+                continue
+            if not context.contained(keep_doc, drop_doc):
+                continue
+            return self._rebuild(plan, chain, keep, mapping)
+        return None
+
+    @staticmethod
+    def _rebuild(
+        plan: ProjectOp,
+        chain: List[Plan],
+        keep: Plan,
+        mapping: dict,
+    ) -> Plan:
+        """Rebuild the chain on the kept branch, renaming dropped columns."""
+        rebuilt: Plan = keep
+        for op in reversed(chain):
+            if isinstance(op, SelectOp):
+                rebuilt = SelectOp(rebuilt, op.predicate.rename(mapping))
+            elif isinstance(op, BindOp):
+                rebuilt = BindOp(
+                    rebuilt,
+                    op.filter,
+                    on=mapping.get(op.on, op.on),
+                    keep_on=op.keep_on,
+                )
+            else:
+                rebuilt = op.with_children([rebuilt])
+        items = [
+            (mapping.get(column, column), alias) for column, alias in plan.items
+        ]
+        return ProjectOp(rebuilt, items)
+
+    @staticmethod
+    def _equality_pairs(
+        predicate: Expr, left_cols: Set[str], right_cols: Set[str]
+    ) -> Optional[List[Tuple[str, str]]]:
+        """Symmetric (a, b) pairs from a pure cross-side equality predicate."""
+        pairs: List[Tuple[str, str]] = []
+        for part in conjuncts(predicate):
+            if not isinstance(part, Cmp) or part.op != "=":
+                return None
+            if not isinstance(part.left, Var) or not isinstance(part.right, Var):
+                return None
+            sides = {part.left.name in left_cols, part.right.name in left_cols}
+            if sides != {True, False}:
+                return None
+            pairs.append((part.left.name, part.right.name))
+            pairs.append((part.right.name, part.left.name))
+        return pairs
+
+    @staticmethod
+    def _single_document(plan: Plan) -> Optional[str]:
+        documents = [
+            node.document for node in plan.walk() if isinstance(node, SourceOp)
+        ]
+        if len(documents) == 1:
+            return documents[0]
+        return None

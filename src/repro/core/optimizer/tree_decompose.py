@@ -1,0 +1,136 @@
+"""Tree decomposition into Group/Sort + a grouping-free Tree.
+
+"A Tree can be rewritten as sequence of Group, Sort and nested Map
+operations, on which existing optimization techniques can be used"
+(paper, Section 5.2).  This module implements that rewriting for the
+common constructor shapes:
+
+* a grouping child ``*(v1..vn) child`` becomes a ``Group`` operator on
+  the input Tab plus a nested iteration (``CNest``) in the constructor —
+  the grouping is now an algebra operator, visible to classical group-by
+  optimization;
+* an ordered iteration ``CIterate(order_by=[$v])`` hoists into a ``Sort``
+  operator below the grouping (``Group`` preserves encounter order
+  within groups, so pre-sorting orders every group's rows).
+
+The rewriting is exposed both as :func:`decompose_tree` and as
+:class:`TreeDecompositionRule`.  It is *not* part of the default three
+rounds — the paper lists it as an enabling step for further group-by
+optimization, which our heuristic rounds do not pursue — but it is
+equivalence-tested and benchmarked like the Figure 7 rewritings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.algebra.expressions import Var
+from repro.core.algebra.operators import GroupOp, Plan, SortOp, TreeOp
+from repro.core.algebra.tree import (
+    CElem,
+    CGroup,
+    CIterate,
+    CNest,
+    Constructor,
+)
+from repro.core.optimizer.rules import OptimizerContext, RewriteRule
+
+#: Column name used for the nested rows produced by the Group operator.
+NESTED_COLUMN = "_grouped"
+
+
+def decompose_tree(tree: TreeOp, context: OptimizerContext) -> Optional[Plan]:
+    """Rewrite the Tree's grouping into a ``Group`` operator.
+
+    Handles a root element whose children contain exactly one
+    :class:`CGroup` over plain variables; other children must not read
+    the input Tab (constants/references only), since grouping changes the
+    row shape underneath them.  Returns ``None`` when the shape does not
+    apply.
+    """
+    root = tree.constructor
+    if not isinstance(root, CElem):
+        return None
+    groups = [c for c in root.children if isinstance(c, CGroup)]
+    if len(groups) != 1:
+        return None
+    group = groups[0]
+    if not all(isinstance(e, Var) for e in group.by):
+        return None
+    for child in root.children:
+        if child is not group and child.variables():
+            return None
+    by_columns = tuple(e.name for e in group.by)
+    input_columns = set(tree.input.output_columns())
+    if not set(by_columns) <= input_columns or NESTED_COLUMN in input_columns:
+        return None
+
+    plan_input: Plan = tree.input
+    inner, sort_columns, descending = _hoist_sort(group.child)
+    if sort_columns:
+        plan_input = SortOp(plan_input, sort_columns, descending)
+    grouped = GroupOp(plan_input, by_columns, NESTED_COLUMN)
+
+    replacement = CIterate(CNest(NESTED_COLUMN, inner), distinct=False)
+    new_children: List[Constructor] = [
+        replacement if child is group else child for child in root.children
+    ]
+    new_root = CElem(root.label, new_children, skolem=root.skolem)
+    return TreeOp(grouped, new_root, tree.document)
+
+
+def _hoist_sort(
+    child: Constructor,
+) -> Tuple[Constructor, Tuple[str, ...], bool]:
+    """Extract a hoistable ordering from the group's child constructor.
+
+    Only a top-level :class:`CIterate` ordered by plain variables hoists;
+    anything else stays inside the constructor.
+    """
+    if (
+        isinstance(child, CIterate)
+        and child.order_by
+        and all(isinstance(e, Var) for e in child.order_by)
+    ):
+        stripped = CIterate(
+            child.child, distinct=child.distinct, order_by=(), descending=False
+        )
+        return (
+            stripped,
+            tuple(e.name for e in child.order_by),
+            child.descending,
+        )
+    if isinstance(child, CElem):
+        # Orderings one level down (the common `artist [ ..., *titles ]`
+        # shape) hoist too, provided exactly one child is ordered.
+        ordered = [
+            (index, item)
+            for index, item in enumerate(child.children)
+            if isinstance(item, CIterate) and item.order_by
+        ]
+        if len(ordered) == 1:
+            index, item = ordered[0]
+            if all(isinstance(e, Var) for e in item.order_by):
+                stripped_item = CIterate(
+                    item.child, distinct=item.distinct, order_by=(),
+                    descending=False,
+                )
+                children = list(child.children)
+                children[index] = stripped_item
+                return (
+                    CElem(child.label, children, skolem=child.skolem),
+                    tuple(e.name for e in item.order_by),
+                    item.descending,
+                )
+    return child, (), False
+
+
+class TreeDecompositionRule(RewriteRule):
+    """Rule form of :func:`decompose_tree` (opt-in, see module docstring)."""
+
+    name = "TreeDecomposition"
+
+    def apply(self, plan: Plan, context: OptimizerContext) -> Optional[Plan]:
+        if not isinstance(plan, TreeOp):
+            return None
+        return decompose_tree(plan, context)

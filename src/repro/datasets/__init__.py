@@ -1,0 +1,19 @@
+"""Synthetic datasets for the paper's running example."""
+
+from repro.datasets.cultural import (
+    ARTISTS,
+    CulturalDataset,
+    art_schema,
+    small_figure1_pair,
+)
+from repro.datasets.paper_queries import Q1, Q2, VIEW1_YAT
+
+__all__ = [
+    "ARTISTS",
+    "CulturalDataset",
+    "Q1",
+    "Q2",
+    "VIEW1_YAT",
+    "art_schema",
+    "small_figure1_pair",
+]

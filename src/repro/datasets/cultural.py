@@ -1,0 +1,294 @@
+"""Synthetic cultural-goods data (paper, Figure 1).
+
+The paper's running example integrates two sources about cultural goods:
+
+* an O2 object database of trading information — ``artifact`` objects
+  with title, year, creator, price and a list of ``person`` owners;
+* a Wais-indexed XML repository of descriptive documents — ``work``
+  elements with mandatory artist/title/style/size plus optional fields
+  (``cplace``, ``history`` with nested ``technique``).
+
+:class:`CulturalDataset` generates both, deterministically from a seed,
+with the cross-source consistency the paper's Figure 8 step assumes: by
+default every artifact has a matching work and vice versa ("all artifacts
+are available in the XML source"), and every year is greater than 1800 so
+the view's ``$y > 1800`` selection keeps everything.  ``extra_works``
+adds works with no artifact counterpart for experiments that must violate
+the containment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.model.trees import DataNode, atom_leaf, elem
+from repro.sources.objectdb.database import ObjectDatabase, Oid
+from repro.sources.objectdb.schema import (
+    AtomicType,
+    ClassDef,
+    CollectionType,
+    MethodDef,
+    RefType,
+    Schema,
+    TupleType,
+)
+from repro.sources.relational.engine import SqlColumn, SqlDatabase, SqlTable
+from repro.sources.wais.store import WaisStore
+
+ARTISTS = (
+    "Claude Monet",
+    "Berthe Morisot",
+    "Camille Pissarro",
+    "Edgar Degas",
+    "Mary Cassatt",
+    "Auguste Renoir",
+    "Gustave Caillebotte",
+    "Alfred Sisley",
+)
+
+STYLES = ("Impressionist", "Baroque", "Cubist", "Romantic", "Realist")
+
+PLACES = ("Giverny", "Paris", "Argenteuil", "Pontoise", "Louveciennes")
+
+TECHNIQUES = ("Oil on canvas", "Watercolor", "Pastel", "Gouache")
+
+TITLE_NOUNS = (
+    "Nympheas", "Bridge", "Garden", "Harbor", "Cathedral",
+    "Haystacks", "Poplars", "Station", "Boulevard", "Terrace",
+)
+
+
+def art_schema() -> Schema:
+    """The Figure 3 schema: Artifact and Person classes with extents."""
+    schema = Schema("art")
+    person_type = TupleType(
+        [
+            ("name", AtomicType("String")),
+            ("auction", AtomicType("Float")),
+        ]
+    )
+    artifact_type = TupleType(
+        [
+            ("title", AtomicType("String")),
+            ("year", AtomicType("Int")),
+            ("creator", AtomicType("String")),
+            ("price", AtomicType("Float")),
+            ("owners", CollectionType("list", RefType("person"))),
+        ]
+    )
+    schema.add_class(ClassDef("person", person_type, extent="persons"))
+    schema.add_class(ClassDef("artifact", artifact_type, extent="artifacts"))
+    schema.add_method(
+        MethodDef(
+            "current_price",
+            "artifact",
+            AtomicType("Float"),
+            _current_price,
+        )
+    )
+    return schema
+
+
+def _current_price(database: ObjectDatabase, oid: str) -> float:
+    """The Section 4 example method: list price plus a 10% premium."""
+    return round(database.get(oid).values["price"] * 1.1, 2)
+
+
+class CulturalDataset:
+    """Deterministic generator for the two-source cultural-goods setup."""
+
+    def __init__(
+        self,
+        n_artifacts: int = 50,
+        extra_works: int = 0,
+        impressionist_fraction: float = 0.3,
+        cplace_probability: float = 0.4,
+        history_probability: float = 0.3,
+        owners_per_artifact: int = 2,
+        seed: int = 20000516,  # SIGMOD 2000, Dallas
+    ) -> None:
+        self.n_artifacts = n_artifacts
+        self.extra_works = extra_works
+        self.impressionist_fraction = impressionist_fraction
+        self.cplace_probability = cplace_probability
+        self.history_probability = history_probability
+        self.owners_per_artifact = owners_per_artifact
+        self.seed = seed
+
+    # -- generation ---------------------------------------------------------------
+
+    def build(self) -> Tuple[ObjectDatabase, WaisStore]:
+        """Build the object database and the Wais store, consistently."""
+        rng = random.Random(self.seed)
+        database = ObjectDatabase(art_schema())
+        store = WaisStore(collection_label="works")
+
+        person_oids = self._insert_persons(database, rng)
+        for index in range(self.n_artifacts):
+            title = self._title(index)
+            artist = ARTISTS[index % len(ARTISTS)]
+            style = self._style(index, rng)
+            year = 1801 + (index * 7) % 199  # always > 1800
+            price = round(50_000 + rng.random() * 2_000_000, 2)
+            owners = rng.sample(
+                person_oids, k=min(self.owners_per_artifact, len(person_oids))
+            )
+            database.insert(
+                "artifact",
+                {
+                    "title": title,
+                    "year": year,
+                    "creator": artist,
+                    "price": price,
+                    "owners": [Oid(oid) for oid in owners],
+                },
+            )
+            store.add(self._work(title, artist, style, rng))
+        for index in range(self.extra_works):
+            title = self._title(self.n_artifacts + index)
+            artist = ARTISTS[(self.n_artifacts + index) % len(ARTISTS)]
+            style = self._style(self.n_artifacts + index, rng)
+            store.add(self._work(title, artist, style, rng))
+        return database, store
+
+    def build_sales(self, database: ObjectDatabase) -> SqlDatabase:
+        """A relational ``sales`` table mirroring the artifacts.
+
+        Used by the SQL-wrapper experiments: same information, different
+        data model, same wrapping machinery.
+        """
+        sql = SqlDatabase("salesdb")
+        sql.create_table(
+            SqlTable(
+                "sales",
+                [
+                    SqlColumn("title", "String"),
+                    SqlColumn("creator", "String"),
+                    SqlColumn("year", "Int"),
+                    SqlColumn("price", "Float"),
+                ],
+            )
+        )
+        rows = []
+        for obj in database.objects():
+            if obj.class_name != "artifact":
+                continue
+            rows.append(
+                {
+                    "title": obj.values["title"],
+                    "creator": obj.values["creator"],
+                    "year": obj.values["year"],
+                    "price": obj.values["price"],
+                }
+            )
+        sql.insert_rows("sales", rows)
+        return sql
+
+    # -- pieces ----------------------------------------------------------------------
+
+    def _insert_persons(self, database: ObjectDatabase, rng: random.Random) -> List[str]:
+        count = max(3, self.n_artifacts // 3)
+        oids = []
+        for index in range(count):
+            oids.append(
+                database.insert(
+                    "person",
+                    {
+                        "name": f"Collector {index + 1}",
+                        "auction": round(10_000 + rng.random() * 5_000_000, 2),
+                    },
+                )
+            )
+        return oids
+
+    def _title(self, index: int) -> str:
+        noun = TITLE_NOUNS[index % len(TITLE_NOUNS)]
+        series = index // len(TITLE_NOUNS) + 1
+        return f"{noun} No. {series}"
+
+    def _style(self, index: int, rng: random.Random) -> str:
+        if rng.random() < self.impressionist_fraction:
+            return "Impressionist"
+        others = [s for s in STYLES if s != "Impressionist"]
+        return others[index % len(others)]
+
+    def _work(
+        self, title: str, artist: str, style: str, rng: random.Random
+    ) -> DataNode:
+        children = [
+            atom_leaf("artist", artist),
+            atom_leaf("title", title),
+            atom_leaf("style", style),
+            atom_leaf("size", f"{rng.randint(20, 90)} x {rng.randint(20, 90)}"),
+        ]
+        if rng.random() < self.cplace_probability:
+            children.append(atom_leaf("cplace", rng.choice(PLACES)))
+        if rng.random() < self.history_probability:
+            children.append(
+                elem(
+                    "history",
+                    atom_leaf("technique", rng.choice(TECHNIQUES)),
+                    atom_leaf("note", f"Painted by {artist}"),
+                )
+            )
+        return elem("work", *children)
+
+
+def small_figure1_pair() -> Tuple[ObjectDatabase, WaisStore]:
+    """The literal Figure 1 data: Nympheas and Waterloo Bridge.
+
+    Handy for doctest-sized examples and exact-output tests.
+    """
+    database = ObjectDatabase(art_schema())
+    p1 = database.insert("person", {"name": "Collector 1", "auction": 900_000.0})
+    p2 = database.insert("person", {"name": "Collector 2", "auction": 1_200_000.0})
+    p3 = database.insert("person", {"name": "Doctor X", "auction": 1_500_000.0})
+    database.insert(
+        "artifact",
+        {
+            "title": "Nympheas",
+            "year": 1897,
+            "creator": "Claude Monet",
+            "price": 2_000_000.0,
+            "owners": [Oid(p1), Oid(p2), Oid(p3)],
+        },
+        oid="a1",
+    )
+    database.insert(
+        "artifact",
+        {
+            "title": "Waterloo Bridge",
+            "year": 1900,
+            "creator": "Claude Monet",
+            "price": 1_750_000.0,
+            "owners": [Oid(p2)],
+        },
+        oid="a2",
+    )
+    store = WaisStore(collection_label="works")
+    store.add(
+        elem(
+            "work",
+            atom_leaf("artist", "Claude Monet"),
+            atom_leaf("title", "Nympheas"),
+            atom_leaf("style", "Impressionist"),
+            atom_leaf("size", "21 x 61"),
+            atom_leaf("cplace", "Giverny"),
+        )
+    )
+    store.add(
+        elem(
+            "work",
+            atom_leaf("artist", "Claude Monet"),
+            atom_leaf("title", "Waterloo Bridge"),
+            atom_leaf("style", "Impressionist"),
+            atom_leaf("size", "29.2 x 46.4"),
+            elem(
+                "history",
+                atom_leaf("technique", "Oil on canvas"),
+                atom_leaf("note", "Painted with oil on canvas in London"),
+            ),
+        )
+    )
+    return database, store

@@ -1,0 +1,38 @@
+"""The paper's YAT_L artifacts, verbatim (in this library's dialect).
+
+``VIEW1_YAT`` is the integration program of Section 2 (view1.yat);
+``Q1`` and ``Q2`` are the user queries whose optimization Figures 8 and 9
+walk through.  Tests, examples and benchmarks all import them from here
+so every part of the reproduction runs the same text.
+"""
+
+#: Section 2: the artworks() view combining both sources.
+VIEW1_YAT = """
+artworks() :=
+MAKE doc [ *&artwork($t, $c) :=
+    work [ title: $t, artist: $a, year: $y, price: $p,
+           style: $s, size: $si, owners [ *$o ], more: $fields ] ]
+MATCH artifacts WITH
+    set *class: artifact:
+             tuple [ title: $t, year: $y, creator: $c, price: $p,
+                     owners: list *class: person:
+                        tuple [ name: $o, auction: $au ] ],
+      artworks WITH
+    works *work [ artist: $a, title: $t', style: $s, size: $si, *($fields) ]
+WHERE $y > 1800 AND $c = $a AND $t = $t'
+"""
+
+#: Section 2 / Figure 8: "What are the artifacts created at 'Giverny'?"
+Q1 = """
+MAKE $t
+MATCH artworks WITH doc . work [ title . $t, more . cplace . $cl ]
+WHERE $cl = "Giverny"
+"""
+
+#: Section 5.3 / Figure 9: "Which impressionist artworks are sold for
+#: less than 2,000,000.00?" (constant scaled to the synthetic prices).
+Q2 = """
+MAKE doc [ * item [ title: $t, artist: $a, price: $p ] ]
+MATCH artworks WITH doc . work [ title . $t, artist . $a, style . $s, price . $p ]
+WHERE $s = "Impressionist" AND $p < 2000000.0
+"""

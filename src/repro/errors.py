@@ -1,0 +1,144 @@
+"""Exception hierarchy for the YAT reproduction.
+
+Every error raised by the library derives from :class:`YatError`, so callers
+can catch one base class at the mediator boundary.  Subclasses are grouped by
+subsystem: the data model, the YATL language, the algebra, capability
+descriptions, sources, and the mediator itself.
+"""
+
+from __future__ import annotations
+
+
+class YatError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Data model
+# ---------------------------------------------------------------------------
+
+class ModelError(YatError):
+    """Problem with YAT data trees or type patterns."""
+
+
+class PatternError(ModelError):
+    """A type pattern is malformed (e.g. dangling named-pattern reference)."""
+
+
+class InstantiationError(ModelError):
+    """A tree or pattern failed an instantiation (typing) check."""
+
+
+class XmlFormatError(ModelError):
+    """An XML document does not follow the YAT wire format."""
+
+
+# ---------------------------------------------------------------------------
+# YATL language
+# ---------------------------------------------------------------------------
+
+class YatlError(YatError):
+    """Problem with a YATL program."""
+
+
+class YatlSyntaxError(YatlError):
+    """The YATL parser rejected the input text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class YatlTranslationError(YatlError):
+    """A parsed YATL query could not be translated to the algebra."""
+
+
+# ---------------------------------------------------------------------------
+# Algebra
+# ---------------------------------------------------------------------------
+
+class AlgebraError(YatError):
+    """Problem while building or evaluating an algebraic plan."""
+
+
+class BindError(AlgebraError):
+    """A Bind filter is malformed or cannot be applied to its input."""
+
+
+class TypeFilterError(BindError):
+    """Pattern matching failed with a type error (paper, Section 2)."""
+
+
+class EvaluationError(AlgebraError):
+    """Runtime failure while evaluating a plan."""
+
+
+class UnknownVariableError(EvaluationError):
+    """An expression referenced a variable absent from the Tab."""
+
+
+# ---------------------------------------------------------------------------
+# Capabilities / source description language
+# ---------------------------------------------------------------------------
+
+class CapabilityError(YatError):
+    """Problem with a source capability description."""
+
+
+class FilterNotSupportedError(CapabilityError):
+    """A filter is not admissible under a source's Fmodel."""
+
+
+class OperationNotSupportedError(CapabilityError):
+    """An operation is absent from a source's operational interface."""
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+class SourceError(YatError):
+    """Problem inside one of the wrapped sources."""
+
+
+class OqlError(SourceError):
+    """The OQL engine rejected or failed to evaluate a query."""
+
+
+class OqlSyntaxError(OqlError):
+    """The OQL parser rejected the input text."""
+
+
+class SchemaError(SourceError):
+    """An object-database schema definition is inconsistent."""
+
+
+class WaisError(SourceError):
+    """The Wais full-text source rejected a request."""
+
+
+class SqlSourceError(SourceError):
+    """The relational source rejected a request."""
+
+
+# ---------------------------------------------------------------------------
+# Mediator
+# ---------------------------------------------------------------------------
+
+class MediatorError(YatError):
+    """Problem at the mediator level (catalog, views, execution)."""
+
+
+class UnknownSourceError(MediatorError):
+    """A plan referenced a source that is not connected."""
+
+
+class UnknownDocumentError(MediatorError):
+    """A plan referenced a named document no source exports."""
+
+
+class ViewError(MediatorError):
+    """A view definition is missing or cannot be composed with a query."""

@@ -1,0 +1,16 @@
+"""The YAT mediator (paper, Section 2, Figure 2)."""
+
+from repro.mediator.catalog import Catalog
+from repro.mediator.execution import ExecutionReport, run_plan
+from repro.mediator.mediator import Mediator, QueryResult
+from repro.mediator.views import VIEW_SOURCE, ViewRegistry
+
+__all__ = [
+    "Catalog",
+    "ExecutionReport",
+    "Mediator",
+    "QueryResult",
+    "VIEW_SOURCE",
+    "ViewRegistry",
+    "run_plan",
+]

@@ -1,0 +1,81 @@
+"""The mediator's catalog: imported interfaces and connected adapters.
+
+"cluet runs a yat mediator, connects both wrappers ..., imports the
+structural and query capabilities of the two connected systems" (paper,
+Section 2, Figure 2).  Importing goes through the XML wire format: the
+catalog stores the interface *as re-parsed from the wrapper's XML
+export*, never a shared Python object, so the mediator only ever knows
+what the protocol can express.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import MediatorError, UnknownSourceError
+from repro.capabilities.interface import SourceInterface
+from repro.capabilities.xml_codec import xml_to_interface
+from repro.core.algebra.evaluator import SourceAdapter
+from repro.wrappers.base import Wrapper
+
+
+class Catalog:
+    """Connected sources: adapters for evaluation, interfaces for planning."""
+
+    def __init__(self) -> None:
+        self._adapters: Dict[str, SourceAdapter] = {}
+        self._interfaces: Dict[str, SourceInterface] = {}
+        self._document_sources: Dict[str, str] = {}
+
+    # -- connection -----------------------------------------------------------
+
+    def connect(self, wrapper: Wrapper) -> SourceInterface:
+        """Connect a wrapper and import its capabilities (via XML)."""
+        if wrapper.name in self._adapters:
+            raise MediatorError(f"source {wrapper.name!r} already connected")
+        interface = xml_to_interface(wrapper.interface_xml())
+        if interface.name != wrapper.name:
+            raise MediatorError(
+                f"wrapper {wrapper.name!r} exported an interface named "
+                f"{interface.name!r}"
+            )
+        for document in interface.documents:
+            if document in self._document_sources:
+                raise MediatorError(
+                    f"document {document!r} is exported by both "
+                    f"{self._document_sources[document]!r} and {wrapper.name!r}"
+                )
+            self._document_sources[document] = wrapper.name
+        self._adapters[wrapper.name] = wrapper
+        self._interfaces[wrapper.name] = interface
+        return interface
+
+    # -- lookups -----------------------------------------------------------------
+
+    def adapter(self, source: str) -> SourceAdapter:
+        try:
+            return self._adapters[source]
+        except KeyError:
+            raise UnknownSourceError(f"source {source!r} is not connected") from None
+
+    def interface(self, source: str) -> SourceInterface:
+        try:
+            return self._interfaces[source]
+        except KeyError:
+            raise UnknownSourceError(f"source {source!r} is not connected") from None
+
+    def adapters(self) -> Dict[str, SourceAdapter]:
+        return dict(self._adapters)
+
+    def interfaces(self) -> Dict[str, SourceInterface]:
+        return dict(self._interfaces)
+
+    def source_of_document(self, document: str) -> Optional[str]:
+        """The source exporting *document*, or ``None``."""
+        return self._document_sources.get(document)
+
+    def document_names(self) -> Tuple[str, ...]:
+        return tuple(self._document_sources)
+
+    def source_names(self) -> Tuple[str, ...]:
+        return tuple(self._adapters)

@@ -1,0 +1,70 @@
+"""Plan execution with measurement.
+
+Thin wrapper around the algebra evaluator that times the run and bundles
+the result Tab with the :class:`~repro.core.algebra.stats.ExecutionStats`
+collected along the way — the unit benchmarks and examples report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.core.algebra.evaluator import Environment, SourceAdapter, evaluate
+from repro.core.algebra.operators import Plan
+from repro.core.algebra.stats import ExecutionStats
+from repro.core.algebra.tab import Tab
+from repro.model.trees import DataNode
+
+
+class ExecutionReport:
+    """Outcome of one plan execution."""
+
+    __slots__ = ("plan", "tab", "stats", "elapsed")
+
+    def __init__(
+        self, plan: Plan, tab: Tab, stats: ExecutionStats, elapsed: float
+    ) -> None:
+        self.plan = plan
+        self.tab = tab
+        self.stats = stats
+        self.elapsed = elapsed
+
+    def document(self) -> DataNode:
+        """The constructed document, for Tree-rooted plans."""
+        if len(self.tab.columns) != 1 or len(self.tab) != 1:
+            raise ValueError(
+                "the plan did not produce a single document; inspect .tab instead"
+            )
+        cell = self.tab.rows[0].cells[0]
+        if not isinstance(cell, DataNode):
+            raise ValueError("the plan's single cell is not a document tree")
+        return cell
+
+    def summary(self) -> str:
+        lines = [
+            f"rows: {len(self.tab)}  elapsed: {self.elapsed * 1000:.2f} ms",
+            self.stats.summary(),
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionReport(rows={len(self.tab)}, "
+            f"bytes={self.stats.total_bytes_transferred}, "
+            f"elapsed={self.elapsed:.4f}s)"
+        )
+
+
+def run_plan(
+    plan: Plan,
+    adapters: Dict[str, SourceAdapter],
+    functions: Optional[Dict[str, Callable]] = None,
+) -> ExecutionReport:
+    """Evaluate *plan* with fresh statistics and timing."""
+    stats = ExecutionStats()
+    env = Environment(adapters, functions=functions, stats=stats)
+    started = time.perf_counter()
+    tab = evaluate(plan, env)
+    elapsed = time.perf_counter() - started
+    return ExecutionReport(plan, tab, stats, elapsed)

@@ -1,0 +1,264 @@
+"""The YAT mediator: connect, import, load, query (paper, Figure 2).
+
+:class:`Mediator` ties the whole system together:
+
+* :meth:`connect` imports a wrapper's structure and capabilities through
+  the XML wire format;
+* :meth:`load_program` registers a YAT_L integration program's rules as
+  views;
+* :meth:`query` parses a user query, composes it with views, optimizes
+  it through the three rewriting rounds, evaluates it, and returns a
+  :class:`QueryResult` carrying the answer, both plans, the rewrite
+  trace and the execution statistics.
+
+The mediator registers two built-in functions sources never need to
+declare: ``ref_is`` (reference identity, used by extent-join rewriting)
+and ``contains`` (word containment, the *fallback* when a contains
+predicate could not be pushed — naive plans still give correct answers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import UnknownDocumentError
+from repro.capabilities.interface import SourceInterface
+from repro.core.algebra.operators import Plan
+from repro.core.algebra.tab import Tab
+from repro.core.optimizer.bind_split import ref_is
+from repro.core.optimizer.planner import Optimizer
+from repro.core.optimizer.rules import OptimizerContext, RewriteTrace
+from repro.mediator.catalog import Catalog
+from repro.mediator.execution import ExecutionReport, run_plan
+from repro.mediator.views import VIEW_SOURCE, ViewRegistry
+from repro.model.trees import DataNode
+from repro.sources.wais.index import document_contains
+from repro.wrappers.base import Wrapper
+from repro.yatl.ast import YatlQuery
+from repro.yatl.parser import parse_program, parse_query
+from repro.yatl.translator import translate_query, translate_rule
+
+
+def _mediator_contains(document: object, text: object) -> bool:
+    if not isinstance(document, DataNode) or not isinstance(text, str):
+        return False
+    return document_contains(document, text)
+
+
+def _field_contains(field: str):
+    """Mediator fallback for a field-scoped contains predicate."""
+    from repro.sources.wais.index import tokenize
+
+    def implementation(document: object, text: object) -> bool:
+        if not isinstance(document, DataNode) or not isinstance(text, str):
+            return False
+        words = set(tokenize(text))
+        if not words:
+            return True
+        present: set = set()
+        for node in document.descendants():
+            if node.label == field:
+                present.update(tokenize(node.text()))
+        return words <= present
+
+    return implementation
+
+
+class QueryResult:
+    """Everything :meth:`Mediator.query` learned about one query."""
+
+    __slots__ = ("naive_plan", "plan", "trace", "report")
+
+    def __init__(
+        self,
+        naive_plan: Plan,
+        plan: Plan,
+        trace: RewriteTrace,
+        report: ExecutionReport,
+    ) -> None:
+        self.naive_plan = naive_plan
+        self.plan = plan
+        self.trace = trace
+        self.report = report
+
+    @property
+    def tab(self) -> Tab:
+        return self.report.tab
+
+    def document(self) -> DataNode:
+        return self.report.document()
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.report!r}, {len(self.trace)} rewrites)"
+
+
+class Mediator:
+    """One mediator instance (``yat-mediator`` in Figure 2)."""
+
+    def __init__(self, name: str = "yat", gate_information_passing: bool = False) -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self.views = ViewRegistry()
+        self._containments: set = set()
+        #: Extension beyond the paper: cost-gate the bind-join conversion
+        #: (see OptimizerContext.gate_information_passing).
+        self.gate_information_passing = gate_information_passing
+        self.functions = {
+            "ref_is": ref_is,
+            "contains": _mediator_contains,
+        }
+
+    # -- setup (the Figure 2 session) ------------------------------------------
+
+    def connect(self, wrapper: Wrapper) -> SourceInterface:
+        """Connect a wrapper and import its capabilities."""
+        interface = self.catalog.connect(wrapper)
+        # Field-scoped contains predicates get mediator fallbacks, so an
+        # unpushed plan still evaluates them correctly.
+        for name, declaration in interface.operations.items():
+            if (
+                declaration.kind == "external"
+                and name.startswith("contains_")
+                and name not in self.functions
+            ):
+                self.functions[name] = _field_contains(
+                    name.removeprefix("contains_")
+                )
+        return interface
+
+    def load_program(self, text: str) -> Tuple[str, ...]:
+        """Parse a YAT_L program and register each rule as a view.
+
+        Inside a rule's own body, its name refers to the *source* document
+        (the paper's ``artworks()`` rule MATCHes the Wais ``artworks``
+        document); everywhere else the view shadows the document.
+        """
+        program = parse_program(text)
+        for rule in program.rules:
+            plan = translate_rule(
+                rule,
+                lambda document, _defining=rule.name: self._resolve_document(
+                    document, defining=_defining
+                ),
+            )
+            self.views.define(rule.name, plan)
+        names: list = []
+        for rule in program.rules:
+            if rule.name not in names:
+                names.append(rule.name)
+        return tuple(names)
+
+    def declare_containment(self, subset_document: str, superset_document: str) -> None:
+        """Administrator metadata for join-branch elimination (Figure 8)."""
+        self._containments.add((subset_document, superset_document))
+
+    # -- planning ------------------------------------------------------------------
+
+    def _resolve_document(self, document: str, defining: Optional[str] = None) -> str:
+        # Views shadow source documents, except inside their own definition
+        # (a rule may be named after the document it integrates, as the
+        # paper's artworks() rule is).
+        if document in self.views and document != defining:
+            return VIEW_SOURCE
+        source = self.catalog.source_of_document(document)
+        if source is not None:
+            return source
+        raise UnknownDocumentError(
+            f"no connected source or view exports {document!r}; known documents: "
+            f"{sorted(self.catalog.document_names() + self.views.names())}"
+        )
+
+    def cost_hints(self):
+        """Size/cardinality hints collected from the connected wrappers."""
+        from repro.core.optimizer.cost import CostHints
+        from repro.wrappers.base import Wrapper
+
+        sizes = {}
+        cardinalities = {}
+        for adapter in self.catalog.adapters().values():
+            if isinstance(adapter, Wrapper):
+                for document, (size, cardinality) in adapter.document_stats().items():
+                    sizes[document] = float(size)
+                    cardinalities[document] = float(max(1, cardinality))
+        return CostHints(document_sizes=sizes,
+                         document_cardinalities=cardinalities)
+
+    def optimizer_context(self) -> OptimizerContext:
+        return OptimizerContext(
+            interfaces=self.catalog.interfaces(),
+            containments=set(self._containments),
+            cost_hints=self.cost_hints() if self.gate_information_passing else None,
+            gate_information_passing=self.gate_information_passing,
+        )
+
+    def plan_query(
+        self,
+        query: YatlQuery,
+        optimize: bool = True,
+        rounds: Sequence[int] = (1, 2, 3),
+    ) -> Tuple[Plan, Plan, RewriteTrace]:
+        """(naive plan, optimized plan, trace) for a parsed query."""
+        translated = translate_query(query, self._resolve_document)
+        naive = self.views.compose(translated)
+        trace = RewriteTrace()
+        optimized = naive
+        if optimize:
+            context = self.optimizer_context()
+            if context.cost_hints is not None:
+                context.cost_hints.text_selectivities.update(
+                    self._probe_text_selectivities(naive)
+                )
+            optimized, trace = Optimizer(context).optimize(
+                naive, rounds=rounds, trace=trace
+            )
+        return naive, optimized, trace
+
+    def _probe_text_selectivities(self, plan: Plan) -> dict:
+        """Ask sources for match fractions of the query's string constants.
+
+        Used by the cost-gated optimizer: an inverted index answers "how
+        many documents contain this term" without transferring anything,
+        which is exactly the statistic the bind-join decision needs.
+        """
+        from repro.core.algebra.expressions import Const, Expr
+        from repro.wrappers.base import Wrapper
+
+        constants = set()
+        for node in plan.walk():
+            predicate = getattr(node, "predicate", None)
+            if isinstance(predicate, Expr):
+                for sub in predicate.walk():
+                    if isinstance(sub, Const) and isinstance(sub.value, str):
+                        constants.add(sub.value)
+        estimates: dict = {}
+        for adapter in self.catalog.adapters().values():
+            if not isinstance(adapter, Wrapper):
+                continue
+            for constant in constants:
+                estimate = adapter.estimate_text_selectivity(constant)
+                if estimate is not None:
+                    # Pessimistic across sources: keep the largest fraction.
+                    estimates[constant] = max(
+                        estimates.get(constant, 0.0), estimate
+                    )
+        return estimates
+
+    # -- querying --------------------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        optimize: bool = True,
+        rounds: Sequence[int] = (1, 2, 3),
+    ) -> QueryResult:
+        """Parse, plan, optimize and evaluate a YAT_L query."""
+        parsed = parse_query(text)
+        naive, optimized, trace = self.plan_query(
+            parsed, optimize=optimize, rounds=rounds
+        )
+        report = self.execute(optimized)
+        return QueryResult(naive, optimized, trace, report)
+
+    def execute(self, plan: Plan) -> ExecutionReport:
+        """Evaluate an already-planned query with fresh statistics."""
+        return run_plan(plan, self.catalog.adapters(), functions=self.functions)

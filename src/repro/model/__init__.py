@@ -1,0 +1,99 @@
+"""The YAT data model and type system (paper, Section 2).
+
+Data trees, type patterns at three genericity levels, the instantiation
+mechanism relating them, filters (trees with variables), and the XML wire
+format used between wrappers and the mediator.
+"""
+
+from repro.model.filters import (
+    MISSING,
+    FConst,
+    FDescend,
+    FElem,
+    Filter,
+    FRest,
+    FStar,
+    FVar,
+    LabelRegex,
+    LabelVar,
+    felem,
+    fpath,
+)
+from repro.model.instantiation import is_instance, subsumes
+from repro.model.patterns import (
+    SYMBOL,
+    PAny,
+    PAtomic,
+    PConstLeaf,
+    PNode,
+    PRef,
+    PStar,
+    PUnion,
+    Pattern,
+    PatternLibrary,
+    odmg_model_library,
+    yat_model_library,
+)
+from repro.model.trees import (
+    DataNode,
+    atom_leaf,
+    build_ident_index,
+    collection_node,
+    elem,
+    ref,
+    resolve_reference,
+)
+from repro.model.values import Atom, atom_type_name, coerce_atom, is_atom, parse_atom
+from repro.model.xml_io import (
+    pattern_to_xml,
+    serialized_size,
+    tree_to_xml,
+    xml_to_pattern,
+    xml_to_tree,
+)
+
+__all__ = [
+    "Atom",
+    "DataNode",
+    "FConst",
+    "FDescend",
+    "FElem",
+    "FRest",
+    "FStar",
+    "FVar",
+    "Filter",
+    "LabelRegex",
+    "LabelVar",
+    "MISSING",
+    "PAny",
+    "PAtomic",
+    "PConstLeaf",
+    "PNode",
+    "PRef",
+    "PStar",
+    "PUnion",
+    "Pattern",
+    "PatternLibrary",
+    "SYMBOL",
+    "atom_leaf",
+    "atom_type_name",
+    "build_ident_index",
+    "coerce_atom",
+    "collection_node",
+    "elem",
+    "felem",
+    "fpath",
+    "is_atom",
+    "is_instance",
+    "odmg_model_library",
+    "parse_atom",
+    "pattern_to_xml",
+    "ref",
+    "resolve_reference",
+    "serialized_size",
+    "subsumes",
+    "tree_to_xml",
+    "xml_to_pattern",
+    "xml_to_tree",
+    "yat_model_library",
+]

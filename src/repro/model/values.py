@@ -1,0 +1,107 @@
+"""Atomic values and collection kinds of the YAT data model.
+
+The paper's type system (Section 2, Figure 3) builds trees out of atomic
+values (``Int``, ``Bool``, ``Float``, ``String``), ordered or unordered
+collections (``set``, ``bag``, ``list``, ``array``) and references.  This
+module defines the Python representation of atoms and the vocabulary of
+collection kinds shared by the data level and the pattern level.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: Python types accepted as YAT atoms.  ``bool`` must be checked before
+#: ``int`` wherever the distinction matters because ``bool`` is a subclass
+#: of ``int`` in Python.
+Atom = Union[int, float, str, bool]
+
+#: Names of the atomic types, as they appear in exported XML interfaces.
+ATOMIC_TYPE_NAMES = ("Int", "Bool", "Float", "String")
+
+#: Collection kinds of the ODMG-flavoured type system.  ``set`` ignores
+#: order and duplicates, ``bag`` ignores order only, ``list`` and ``array``
+#: are ordered (the paper treats both as sequences).
+COLLECTION_KINDS = ("set", "bag", "list", "array")
+
+#: Collection kinds whose element order is irrelevant for value equality.
+UNORDERED_KINDS = frozenset({"set", "bag"})
+
+
+def is_atom(value: object) -> bool:
+    """Return ``True`` when *value* is a YAT atom (int, float, str or bool)."""
+    return isinstance(value, (bool, int, float, str))
+
+
+def atom_type_name(value: Atom) -> str:
+    """Return the YAT atomic type name (``Int``, ``Bool``, ...) of *value*.
+
+    >>> atom_type_name(3)
+    'Int'
+    >>> atom_type_name(True)
+    'Bool'
+    """
+    if isinstance(value, bool):
+        return "Bool"
+    if isinstance(value, int):
+        return "Int"
+    if isinstance(value, float):
+        return "Float"
+    if isinstance(value, str):
+        return "String"
+    raise TypeError(f"not a YAT atom: {value!r}")
+
+
+def parse_atom(type_name: str, text: str) -> Atom:
+    """Parse *text* into an atom of the named YAT type.
+
+    Used when deserializing XML, where all content arrives as text.
+
+    >>> parse_atom("Int", "42")
+    42
+    >>> parse_atom("Bool", "true")
+    True
+    """
+    if type_name == "Int":
+        return int(text)
+    if type_name == "Float":
+        return float(text)
+    if type_name == "Bool":
+        lowered = text.strip().lower()
+        if lowered in ("true", "1"):
+            return True
+        if lowered in ("false", "0"):
+            return False
+        raise ValueError(f"not a boolean literal: {text!r}")
+    if type_name == "String":
+        return text
+    raise ValueError(f"unknown atomic type: {type_name!r}")
+
+
+def coerce_atom(text: str) -> Atom:
+    """Guess the most specific atom for *text* (used for untyped XML data).
+
+    Integers win over floats, floats over booleans, and everything else is
+    a string.  Whitespace-only text stays a string.
+
+    >>> coerce_atom("1897")
+    1897
+    >>> coerce_atom("21 x 61")
+    '21 x 61'
+    """
+    stripped = text.strip()
+    if not stripped:
+        return text
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    if stripped.lower() == "true":
+        return True
+    if stripped.lower() == "false":
+        return False
+    return text

@@ -1,0 +1,2 @@
+"""Wrapped data sources: the mini-O2 object database, the Wais full-text
+XML store, and the sqlite3-backed relational source."""

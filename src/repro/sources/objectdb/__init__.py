@@ -1,0 +1,30 @@
+"""A mini O2/ODMG object database with an OQL-subset engine."""
+
+from repro.sources.objectdb.database import ObjectDatabase, OdmgObject, Oid
+from repro.sources.objectdb.oql import evaluate_oql, parse_oql
+from repro.sources.objectdb.schema import (
+    AtomicType,
+    ClassDef,
+    CollectionType,
+    MethodDef,
+    OdmgType,
+    RefType,
+    Schema,
+    TupleType,
+)
+
+__all__ = [
+    "AtomicType",
+    "ClassDef",
+    "CollectionType",
+    "MethodDef",
+    "ObjectDatabase",
+    "OdmgObject",
+    "OdmgType",
+    "Oid",
+    "RefType",
+    "Schema",
+    "TupleType",
+    "evaluate_oql",
+    "parse_oql",
+]

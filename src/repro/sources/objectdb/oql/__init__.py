@@ -1,0 +1,35 @@
+"""The OQL-subset parser and evaluator."""
+
+from repro.sources.objectdb.oql.ast import (
+    OqlAnd,
+    OqlCompare,
+    OqlExtent,
+    OqlLiteral,
+    OqlMethodCall,
+    OqlNode,
+    OqlNot,
+    OqlOr,
+    OqlPath,
+    OqlProjection,
+    OqlRange,
+    OqlSelect,
+)
+from repro.sources.objectdb.oql.evaluator import evaluate_oql
+from repro.sources.objectdb.oql.parser import parse_oql
+
+__all__ = [
+    "OqlAnd",
+    "OqlCompare",
+    "OqlExtent",
+    "OqlLiteral",
+    "OqlMethodCall",
+    "OqlNode",
+    "OqlNot",
+    "OqlOr",
+    "OqlPath",
+    "OqlProjection",
+    "OqlRange",
+    "OqlSelect",
+    "evaluate_oql",
+    "parse_oql",
+]

@@ -1,0 +1,5 @@
+"""A typed relational source backed by sqlite3 (DB-API)."""
+
+from repro.sources.relational.engine import SqlColumn, SqlDatabase, SqlTable
+
+__all__ = ["SqlColumn", "SqlDatabase", "SqlTable"]

@@ -1,0 +1,21 @@
+"""A full-text indexed XML document store (the paper's Wais source)."""
+
+from repro.sources.wais.index import (
+    ANY_FIELD,
+    InvertedIndex,
+    document_contains,
+    tokenize,
+)
+from repro.sources.wais.query import WaisQuery, WaisTerm, parse_wais_query
+from repro.sources.wais.store import WaisStore
+
+__all__ = [
+    "ANY_FIELD",
+    "InvertedIndex",
+    "WaisQuery",
+    "WaisStore",
+    "WaisTerm",
+    "document_contains",
+    "parse_wais_query",
+    "tokenize",
+]

@@ -1,0 +1,103 @@
+"""Inverted full-text index for the Wais source.
+
+free-WAIS-sf (the engine behind the paper's ``xmlwais`` wrapper) indexes
+documents by word, optionally scoped to named fields — the ``sf`` stands
+for *structured fields*.  This module reproduces that behaviour: every
+document is indexed under the pseudo-field ``any`` (whole content) and
+under each of its element labels.
+
+Matching is conjunctive and word-based: a query string matches when all
+of its words appear in the indexed scope, which is the semantics the
+``contains`` predicate of Section 4.2 needs (it may return false
+positives with respect to an equality predicate — that is exactly why the
+declared equivalence keeps the mediator-side selection above the pushed
+``contains``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Set, Tuple
+
+from repro.model.trees import DataNode
+
+#: Scope name meaning "anywhere in the document".
+ANY_FIELD = "any"
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> Tuple[str, ...]:
+    """Lower-cased word tokens of *text*.
+
+    >>> tokenize("Oil on canvas, 1897!")
+    ('oil', 'on', 'canvas', '1897')
+    """
+    return tuple(_WORD_RE.findall(text.lower()))
+
+
+class InvertedIndex:
+    """Word index over documents, scoped by field name."""
+
+    def __init__(self) -> None:
+        # (field, word) -> set of document ids
+        self._postings: Dict[Tuple[str, str], Set[str]] = {}
+        self._documents: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def add_document(self, doc_id: str, document: DataNode) -> None:
+        """Index one document tree under its element labels and ``any``."""
+        self._documents.add(doc_id)
+        for node in document.descendants():
+            if node.is_atom_leaf:
+                words = tokenize(str(node.atom))
+                for word in words:
+                    self._post(ANY_FIELD, word, doc_id)
+                    self._post(node.label, word, doc_id)
+
+    def _post(self, field: str, word: str, doc_id: str) -> None:
+        key = (field, word)
+        postings = self._postings.get(key)
+        if postings is None:
+            postings = set()
+            self._postings[key] = postings
+        postings.add(doc_id)
+
+    def lookup(self, query: str, field: Optional[str] = None) -> Set[str]:
+        """Documents whose *field* (or anywhere) contains all query words.
+
+        An empty query matches every indexed document.
+        """
+        field = field or ANY_FIELD
+        words = tokenize(query)
+        if not words:
+            return set(self._documents)
+        result: Optional[Set[str]] = None
+        for word in words:
+            postings = self._postings.get((field, word), set())
+            result = postings if result is None else (result & postings)
+            if not result:
+                return set()
+        return set(result or ())
+
+    def vocabulary(self, field: Optional[str] = None) -> Tuple[str, ...]:
+        """Sorted indexed words, optionally restricted to one field."""
+        field = field or ANY_FIELD
+        return tuple(
+            sorted(word for (f, word) in self._postings if f == field)
+        )
+
+
+def document_contains(document: DataNode, query: str) -> bool:
+    """Reference (unindexed) implementation of the ``contains`` predicate.
+
+    Used by the mediator when it must evaluate ``contains`` itself and by
+    tests as an oracle for the index.
+    """
+    words = set(tokenize(query))
+    if not words:
+        return True
+    present = set(tokenize(document.text()))
+    return words.issubset(present)

@@ -1,0 +1,89 @@
+"""Wais textual queries: conjunctive attribute/value terms.
+
+"The Z39.50 protocol (underlying the Wais retrieval engine ...) is based
+on attribute/value textual queries" (paper, Section 4.2).  A
+:class:`WaisQuery` is a conjunction of :class:`WaisTerm` items, each
+scoping a word query to a field (or to the whole document).
+
+The textual rendering — ``artist=(monet) and any=(impressionist)`` — is
+what the wrapper reports as the *native* form of a pushed plan.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+from repro.errors import WaisError
+from repro.sources.wais.index import ANY_FIELD
+
+
+class WaisTerm:
+    """One attribute/value term: all words of *text* in field *field*."""
+
+    __slots__ = ("field", "text")
+
+    def __init__(self, text: str, field: Optional[str] = None) -> None:
+        self.field = field or ANY_FIELD
+        self.text = text
+
+    def render(self) -> str:
+        return f"{self.field}=({self.text})"
+
+    def __repr__(self) -> str:
+        return f"WaisTerm({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, WaisTerm)
+            and other.field == self.field
+            and other.text == self.text
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.text))
+
+
+class WaisQuery:
+    """A conjunction of terms; an empty query selects every document."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Sequence[WaisTerm] = ()) -> None:
+        self.terms = tuple(terms)
+
+    def render(self) -> str:
+        if not self.terms:
+            return "*"
+        return " and ".join(term.render() for term in self.terms)
+
+    def __repr__(self) -> str:
+        return f"WaisQuery({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WaisQuery) and other.terms == self.terms
+
+    def __hash__(self) -> int:
+        return hash(self.terms)
+
+
+_TERM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*=\s*\(([^)]*)\)\s*")
+
+
+def parse_wais_query(text: str) -> WaisQuery:
+    """Parse the textual form back into a :class:`WaisQuery`.
+
+    >>> parse_wais_query("artist=(monet) and any=(impressionist)").terms[0].field
+    'artist'
+    """
+    stripped = text.strip()
+    if stripped in ("", "*"):
+        return WaisQuery()
+    terms = []
+    for part in stripped.split(" and "):
+        match = _TERM_RE.fullmatch(part)
+        if match is None:
+            raise WaisError(f"malformed Wais query term: {part!r}")
+        field, body = match.groups()
+        terms.append(WaisTerm(body, field=field))
+    return WaisQuery(terms)

@@ -1,0 +1,22 @@
+"""Generic wrappers (paper, Sections 2 and 4).
+
+Each wrapper derives its exported structure and capabilities mechanically
+from its source and translates pushed algebra fragments to native queries
+(OQL, Wais searches, SQL).
+"""
+
+from repro.wrappers.base import PushedFragment, Wrapper, analyze_fragment
+from repro.wrappers.o2_wrapper import O2Wrapper
+from repro.wrappers.sql_wrapper import SqlWrapper, sql_fmodel
+from repro.wrappers.wais_wrapper import STRUCTURE_MODEL, WaisWrapper
+
+__all__ = [
+    "O2Wrapper",
+    "PushedFragment",
+    "STRUCTURE_MODEL",
+    "SqlWrapper",
+    "WaisWrapper",
+    "Wrapper",
+    "analyze_fragment",
+    "sql_fmodel",
+]

@@ -1,0 +1,218 @@
+"""The generic wrapper protocol.
+
+A wrapper (paper, Section 2 and Figure 2) makes one source available to
+mediators.  It exports, *in XML*:
+
+* structural information (pattern libraries at the right genericity);
+* query capabilities (the operational interface of Section 4);
+
+and it answers two kinds of requests:
+
+* fetch a named document (full transfer — the expensive path);
+* execute a pushed algebraic fragment natively and return a Tab (the
+  cheap path enabled by capability-based rewriting).
+
+Every wrapper validates pushed fragments against its own declared
+capabilities before executing them, so a mediator bug cannot make a
+source do something it never promised.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SourceError
+from repro.capabilities.interface import SourceInterface
+from repro.capabilities.matcher import CapabilityMatcher
+from repro.capabilities.xml_codec import interface_to_xml
+from repro.core.algebra.evaluator import SourceAdapter
+from repro.core.algebra.operators import (
+    BindOp,
+    Plan,
+    ProjectOp,
+    SelectOp,
+    SourceOp,
+)
+from repro.core.algebra.tab import Row, Tab
+from repro.core.algebra.expressions import Expr
+from repro.model.filters import Filter
+from repro.model.trees import DataNode
+
+
+class PushedFragment:
+    """Normal form of a pushable plan fragment.
+
+    Every wrapper in this reproduction accepts the same fragment shape —
+    the shape capability-based rewriting produces (Section 5.3)::
+
+        [Project] ( [Select]* ( Bind ( Source ) ) )
+
+    ``analyze_fragment`` decomposes a plan into this normal form or
+    raises :class:`SourceError` when the plan does not fit.
+    """
+
+    __slots__ = ("document", "filter", "selections", "projection")
+
+    def __init__(
+        self,
+        document: str,
+        filter: Filter,
+        selections: Tuple[Expr, ...],
+        projection: Optional[Tuple[Tuple[str, str], ...]],
+    ) -> None:
+        self.document = document
+        self.filter = filter
+        self.selections = selections
+        self.projection = projection
+
+
+def analyze_fragment(plan: Plan, source_name: str) -> PushedFragment:
+    """Decompose *plan* into the pushable normal form."""
+    projection: Optional[Tuple[Tuple[str, str], ...]] = None
+    if isinstance(plan, ProjectOp):
+        projection = plan.items
+        plan = plan.input
+    selections: List[Expr] = []
+    while isinstance(plan, SelectOp):
+        selections.append(plan.predicate)
+        plan = plan.input
+    if not isinstance(plan, BindOp):
+        raise SourceError(
+            f"pushed plan for {source_name!r} must bottom out in Bind(Source); "
+            f"got {plan.describe()}"
+        )
+    bind = plan
+    if not isinstance(bind.input, SourceOp):
+        raise SourceError(
+            f"pushed Bind for {source_name!r} must read a Source directly"
+        )
+    source_op = bind.input
+    if source_op.source != source_name:
+        raise SourceError(
+            f"pushed plan targets source {source_op.source!r}, "
+            f"but was sent to {source_name!r}"
+        )
+    if bind.on != source_op.document:
+        raise SourceError(
+            f"pushed Bind must match the source document "
+            f"({bind.on!r} != {source_op.document!r})"
+        )
+    # Selections were collected top-down; apply bottom-up.
+    selections.reverse()
+    return PushedFragment(source_op.document, bind.filter, tuple(selections), projection)
+
+
+class Wrapper(SourceAdapter):
+    """Base class of generic wrappers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._interface: Optional[SourceInterface] = None
+
+    # -- capability export -------------------------------------------------------
+
+    @abstractmethod
+    def build_interface(self) -> SourceInterface:
+        """Construct this source's interface (structures + capabilities)."""
+
+    def interface(self) -> SourceInterface:
+        """The exported interface (built once, then cached)."""
+        if self._interface is None:
+            self._interface = self.build_interface()
+        return self._interface
+
+    def interface_xml(self) -> str:
+        """The interface as the XML document sent to mediators.
+
+        Mediators re-parse this text rather than sharing Python objects,
+        which keeps the wire format honest end to end.
+        """
+        return interface_to_xml(self.interface())
+
+    def matcher(self) -> CapabilityMatcher:
+        """Admissibility checker over this wrapper's own interface."""
+        return CapabilityMatcher(self.interface())
+
+    # -- validation --------------------------------------------------------------
+
+    def validate_fragment(self, fragment: PushedFragment) -> None:
+        """Reject fragments outside the declared capabilities."""
+        matcher = self.matcher()
+        admissible = matcher.bind_admissible(fragment.filter)
+        if not admissible:
+            raise SourceError(
+                f"wrapper {self.name!r} rejects pushed filter: {admissible.reason}"
+            )
+        for predicate in fragment.selections:
+            pushable = matcher.predicate_pushable(predicate)
+            if not pushable:
+                raise SourceError(
+                    f"wrapper {self.name!r} rejects pushed predicate "
+                    f"{predicate.text()}: {pushable.reason}"
+                )
+        if fragment.projection is not None:
+            pushable = matcher.operation_pushable("project")
+            if not pushable:
+                raise SourceError(
+                    f"wrapper {self.name!r} rejects pushed projection: "
+                    f"{pushable.reason}"
+                )
+
+    # -- statistics ----------------------------------------------------------------
+
+    def document_stats(self) -> Dict[str, Tuple[int, int]]:
+        """``{document: (serialized bytes, root cardinality)}``.
+
+        Computed locally at the source (the wrapper owns the data), so
+        the mediator can obtain size hints without transferring anything.
+        Wrappers with cheaper ways to know their sizes may override this.
+        """
+        from repro.model.xml_io import serialized_size
+
+        stats: Dict[str, Tuple[int, int]] = {}
+        for name in self.document_names():
+            document = self.document(name)
+            stats[name] = (serialized_size(document), len(document.children))
+        return stats
+
+    def estimate_text_selectivity(self, text: str) -> Optional[float]:
+        """Estimated fraction of this source's entries matching *text*.
+
+        ``None`` when the source has no cheap way to know.  Full-text
+        sources override this using their index's document frequencies.
+        """
+        return None
+
+    # -- SourceAdapter defaults ---------------------------------------------------
+
+    def ident_index(self) -> Dict[str, DataNode]:
+        return {}
+
+    def execute_pushed(
+        self, plan: Plan, outer: Optional[Row] = None
+    ) -> Tuple[Tab, str]:
+        fragment = analyze_fragment(plan, self.name)
+        self.validate_fragment(fragment)
+        return self.run_fragment(fragment, plan, outer)
+
+    @abstractmethod
+    def run_fragment(
+        self, fragment: PushedFragment, plan: Plan, outer: Optional[Row]
+    ) -> Tuple[Tab, str]:
+        """Execute a validated fragment; returns ``(tab, native text)``."""
+
+
+def outer_constant(outer: Optional[Row], name: str):
+    """Resolve an information-passing parameter from the outer row.
+
+    Raises :class:`SourceError` when the variable is genuinely unknown —
+    the optimizer only builds parameterized fragments under a DJoin that
+    supplies the row.
+    """
+    if outer is not None and name in outer:
+        return outer[name]
+    raise SourceError(
+        f"pushed plan references ${name}, which is neither bound by the "
+        "fragment nor supplied by an outer row"
+    )

@@ -1,0 +1,77 @@
+"""Tokenizer for YAT_L programs.
+
+The concrete syntax follows the paper's examples (Section 2)::
+
+    artworks() :=
+    MAKE doc [ *&artwork($t, $c) := work [ title: $t, ... ] ]
+    MATCH artifacts WITH set *class: artifact: tuple [ title: $t, ... ],
+          artworks  WITH works *work [ artist: $a, ..., *($fields) ]
+    WHERE $y > 1800 AND $c = $a AND $t = $t'
+
+Variables are ``$name`` and may end in primes (``$t'``).  Keywords are
+case-insensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.errors import YatlSyntaxError
+
+KEYWORDS = frozenset({"make", "match", "with", "where", "and", "or", "not",
+                      "true", "false"})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<assign>:=)
+  | (?P<var>\$[A-Za-z_][A-Za-z0-9_]*'*)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*'*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[()\[\],.:*&])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    kind: str   # kw, ident, var, int, float, string, op, punct, assign, eof
+    value: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens with line/column positions, ending with ``eof``."""
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise YatlSyntaxError(
+                f"unexpected character {text[position]!r}", line, column
+            )
+        kind = match.lastgroup
+        value = match.group()
+        column = match.start() - line_start + 1
+        position = match.end()
+        if kind in ("ws", "comment"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + value.rindex("\n") + 1
+            continue
+        if kind == "ident" and value.lower() in KEYWORDS:
+            yield Token("kw", value.lower(), line, column)
+        elif kind == "var":
+            yield Token("var", value[1:], line, column)
+        else:
+            yield Token(kind, value, line, column)
+    yield Token("eof", "", line, position - line_start + 1)

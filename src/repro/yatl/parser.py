@@ -1,0 +1,395 @@
+"""Recursive-descent parser for YAT_L.
+
+Filter grammar (MATCH side)::
+
+    filter    := element
+    element   := label [VAR] [content]        -- `work $w [ ... ]`
+    label     := IDENT | VAR                  -- VAR = label variable ($l: ...)
+    content   := ":" item | "." item          -- single child / path step
+               | ".." item                    -- descendant axis (GPE)
+               | "[" items "]"
+               | "*" star_item                -- `works *work [...]`
+    items     := item ("," item)*
+    item      := "*" "(" VAR ")"              -- rest: *($fields)
+               | "*" star_item                -- star item: `owners *$o`
+               | VAR | literal | element
+    star_item := VAR | element
+
+Construction grammar (MAKE side)::
+
+    make      := m_item
+    m_element := IDENT [skolem] [m_content]
+    skolem    := "&" IDENT "(" vars ")"
+    m_content := ":" m_scalar | "[" m_items "]"
+    m_items   := m_item ("," m_item)*
+    m_item    := "*" "(" exprs ")" m_element          -- grouping *(e) elem
+               | "*" "&" IDENT "(" exprs ")" ":=" m_element
+                                                      -- `*&artwork($t,$c) := work [...]`
+               | "*" (VAR | m_element)                -- iterate per row
+               | "&" IDENT "(" exprs ")" ":" IDENT   -- reference: &artist($a): ref_label
+               | m_element | VAR | literal
+    m_scalar  := VAR | literal | m_element
+
+Predicates (WHERE side) use the usual precedence ``OR < AND < NOT``, with
+comparisons over variables, literals and function calls
+(``contains($w, "...")``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import YatlSyntaxError
+from repro.core.algebra.expressions import (
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Const,
+    Expr,
+    FunCall,
+    Var,
+)
+from repro.core.algebra.tree import (
+    CElem,
+    CGroup,
+    CIterate,
+    CLeaf,
+    CRef,
+    CValue,
+    Constructor,
+)
+from repro.model.filters import (
+    FConst,
+    FDescend,
+    FElem,
+    Filter,
+    FRest,
+    FStar,
+    FVar,
+    LabelVar,
+)
+from repro.yatl.ast import MatchClause, YatlProgram, YatlQuery, YatlRule
+from repro.yatl.lexer import Token, tokenize
+
+
+def parse_program(text: str) -> YatlProgram:
+    """Parse a full YAT_L program (one or more named rules)."""
+    return _Parser(text).parse_program()
+
+
+def parse_query(text: str) -> YatlQuery:
+    """Parse a single anonymous query (``MAKE ... MATCH ... [WHERE ...]``)."""
+    return _Parser(text).parse_single_query()
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse a filter in isolation (used by tests and the REPL examples)."""
+    parser = _Parser(text)
+    flt = parser._filter()
+    parser._expect("eof")
+    return flt
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens: List[Token] = list(tokenize(text))
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._position + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value or kind
+            raise YatlSyntaxError(
+                f"expected {wanted!r}, got {token.value or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    # -- programs -------------------------------------------------------------------
+
+    def parse_program(self) -> YatlProgram:
+        rules = []
+        while self._peek().kind != "eof":
+            rules.append(self._rule())
+        if not rules:
+            raise YatlSyntaxError("empty program")
+        return YatlProgram(rules)
+
+    def parse_single_query(self) -> YatlQuery:
+        query = self._query()
+        self._expect("eof")
+        return query
+
+    def _rule(self) -> YatlRule:
+        name = self._expect("ident").value
+        self._expect("punct", "(")
+        self._expect("punct", ")")
+        self._expect("assign")
+        return YatlRule(name, self._query())
+
+    def _query(self) -> YatlQuery:
+        self._expect("kw", "make")
+        make = self._make_item()
+        self._expect("kw", "match")
+        matches = [self._match()]
+        while self._accept("punct", ","):
+            matches.append(self._match())
+        where = None
+        if self._accept("kw", "where"):
+            where = self._predicate()
+        return YatlQuery(make, matches, where)
+
+    def _match(self) -> MatchClause:
+        document = self._expect("ident").value
+        self._expect("kw", "with")
+        return MatchClause(document, self._filter())
+
+    # -- filters --------------------------------------------------------------------
+
+    def _filter(self) -> Filter:
+        return self._element()
+
+    def _element(self) -> Filter:
+        token = self._peek()
+        if token.kind == "var":
+            label: object = LabelVar(self._advance().value)
+        else:
+            label = self._expect("ident").value
+        var = None
+        if self._peek().kind == "var":
+            var = self._advance().value
+        children = self._content()
+        return FElem(label, children, var=var)
+
+    def _content(self) -> tuple:
+        if self._accept("punct", "."):
+            # ".." is the descendant axis (generalized path expressions):
+            # `doc .. cplace . $cl` matches cplace at any depth.
+            if self._accept("punct", "."):
+                return (FDescend(self._item()),)
+            return (self._item(),)
+        if self._accept("punct", ":"):
+            return (self._item(),)
+        if self._accept("punct", "["):
+            items = [self._item()]
+            while self._accept("punct", ","):
+                items.append(self._item())
+            self._expect("punct", "]")
+            return tuple(items)
+        if self._accept("punct", "*"):
+            return (FStar(self._star_item()),)
+        return ()
+
+    def _item(self) -> Filter:
+        if self._accept("punct", "*"):
+            if self._accept("punct", "("):
+                name = self._expect("var").value
+                self._expect("punct", ")")
+                return FRest(name)
+            return FStar(self._star_item())
+        token = self._peek()
+        if token.kind == "var":
+            # `$l: ...` is a label-variable element; bare `$v` binds a value.
+            follower = self._peek(1)
+            if follower.kind == "punct" and follower.value in (":", ".", "["):
+                return self._element()
+            self._advance()
+            return FVar(token.value)
+        if token.kind in ("int", "float", "string") or (
+            token.kind == "kw" and token.value in ("true", "false")
+        ):
+            return FConst(self._literal())
+        return self._element()
+
+    def _star_item(self) -> Filter:
+        token = self._peek()
+        if token.kind == "var":
+            follower = self._peek(1)
+            if not (follower.kind == "punct" and follower.value in (":", ".", "[")):
+                self._advance()
+                return FVar(token.value)
+        return self._element()
+
+    def _literal(self):
+        token = self._advance()
+        if token.kind == "int":
+            return int(token.value)
+        if token.kind == "float":
+            return float(token.value)
+        if token.kind == "string":
+            return token.value[1:-1].replace('\\"', '"')
+        if token.kind == "kw" and token.value in ("true", "false"):
+            return token.value == "true"
+        raise YatlSyntaxError(
+            f"expected a literal, got {token.value!r}", token.line, token.column
+        )
+
+    # -- construction ---------------------------------------------------------------
+
+    def _make_item(self) -> Constructor:
+        if self._accept("punct", "*"):
+            return self._starred_make()
+        if self._peek().kind == "punct" and self._peek().value == "&":
+            return self._reference_make()
+        token = self._peek()
+        if token.kind == "var":
+            self._advance()
+            return CValue(Var(token.value))
+        if token.kind in ("int", "float", "string") or (
+            token.kind == "kw" and token.value in ("true", "false")
+        ):
+            return CValue(Const(self._literal()))
+        return self._make_element()
+
+    def _starred_make(self) -> Constructor:
+        if self._peek().kind == "punct" and self._peek().value == "&":
+            # `*&artwork($t,$c) := work [...]` — group per Skolem arguments.
+            self._advance()
+            function = self._expect("ident").value
+            args = self._expr_args()
+            self._expect("assign")
+            element = self._make_element()
+            identified = CElem(element.label, element.children,
+                               skolem=(function, args))
+            return CGroup(args, identified)
+        if self._accept("punct", "("):
+            # `*($a) artist [...]` — the grouping primitive of Figure 4.
+            args = [self._scalar_expr()]
+            while self._accept("punct", ","):
+                args.append(self._scalar_expr())
+            self._expect("punct", ")")
+            return CGroup(args, self._make_item())
+        token = self._peek()
+        if token.kind == "var":
+            self._advance()
+            return CIterate(CValue(Var(token.value)))
+        return CIterate(self._make_element())
+
+    def _reference_make(self) -> Constructor:
+        self._expect("punct", "&")
+        function = self._expect("ident").value
+        args = self._expr_args()
+        self._expect("punct", ":")
+        label = self._expect("ident").value
+        return CRef(label, function, args)
+
+    def _make_element(self) -> Constructor:
+        label = self._expect("ident").value
+        skolem = None
+        if self._peek().kind == "punct" and self._peek().value == "&":
+            self._advance()
+            function = self._expect("ident").value
+            skolem = (function, self._expr_args())
+        if self._accept("punct", ":"):
+            scalar = self._make_scalar()
+            if isinstance(scalar, Expr):
+                return CLeaf(label, scalar)
+            return CElem(label, [scalar], skolem=skolem)
+        if self._accept("punct", "["):
+            items = [self._make_item()]
+            while self._accept("punct", ","):
+                items.append(self._make_item())
+            self._expect("punct", "]")
+            return CElem(label, items, skolem=skolem)
+        return CElem(label, [], skolem=skolem)
+
+    def _make_scalar(self):
+        token = self._peek()
+        if token.kind == "var":
+            self._advance()
+            return Var(token.value)
+        if token.kind in ("int", "float", "string") or (
+            token.kind == "kw" and token.value in ("true", "false")
+        ):
+            return Const(self._literal())
+        return self._make_element()
+
+    def _expr_args(self) -> list:
+        self._expect("punct", "(")
+        args = [self._scalar_expr()]
+        while self._accept("punct", ","):
+            args.append(self._scalar_expr())
+        self._expect("punct", ")")
+        return args
+
+    # -- predicates ---------------------------------------------------------------------
+
+    def _predicate(self) -> Expr:
+        operands = [self._conjunction()]
+        while self._accept("kw", "or"):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOr(operands)
+
+    def _conjunction(self) -> Expr:
+        operands = [self._negation()]
+        while self._accept("kw", "and"):
+            operands.append(self._negation())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolAnd(operands)
+
+    def _negation(self) -> Expr:
+        if self._accept("kw", "not"):
+            return BoolNot(self._negation())
+        if self._peek().kind == "punct" and self._peek().value == "(":
+            self._advance()
+            inner = self._predicate()
+            self._expect("punct", ")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._scalar_expr()
+        token = self._peek()
+        if token.kind == "op":
+            self._advance()
+            right = self._scalar_expr()
+            return Cmp(token.value, left, right)
+        return left
+
+    def _scalar_expr(self) -> Expr:
+        token = self._peek()
+        if token.kind == "var":
+            self._advance()
+            return Var(token.value)
+        if token.kind in ("int", "float", "string") or (
+            token.kind == "kw" and token.value in ("true", "false")
+        ):
+            return Const(self._literal())
+        if token.kind == "ident":
+            name = self._advance().value
+            self._expect("punct", "(")
+            args = []
+            if not (self._peek().kind == "punct" and self._peek().value == ")"):
+                args.append(self._scalar_expr())
+                while self._accept("punct", ","):
+                    args.append(self._scalar_expr())
+            self._expect("punct", ")")
+            return FunCall(name, args)
+        raise YatlSyntaxError(
+            f"expected an expression, got {token.value or token.kind!r}",
+            token.line,
+            token.column,
+        )

@@ -1,0 +1,44 @@
+"""Shared fixtures: the paper's running example, ready to query."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mediator, O2Wrapper, WaisWrapper
+from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT, small_figure1_pair
+
+__all__ = ["Q1", "Q2", "VIEW1_YAT", "build_mediator"]
+
+
+def build_mediator(database, store) -> Mediator:
+    """Wire the two wrappers plus view1.yat into a fresh mediator."""
+    mediator = Mediator()
+    mediator.connect(O2Wrapper("o2artifact", database))
+    mediator.connect(WaisWrapper("xmlartwork", store))
+    mediator.declare_containment("artworks", "artifacts")
+    mediator.load_program(VIEW1_YAT)
+    return mediator
+
+
+@pytest.fixture
+def figure1_sources():
+    """The literal Figure 1 data: two artifacts, two works."""
+    return small_figure1_pair()
+
+
+@pytest.fixture
+def figure1_mediator(figure1_sources):
+    database, store = figure1_sources
+    return build_mediator(database, store)
+
+
+@pytest.fixture
+def cultural_sources():
+    """A mid-sized consistent dataset (30 artifacts/works)."""
+    return CulturalDataset(n_artifacts=30, seed=7).build()
+
+
+@pytest.fixture
+def cultural_mediator(cultural_sources):
+    database, store = cultural_sources
+    return build_mediator(database, store)

@@ -1,0 +1,202 @@
+"""Unit tests for the Bind pattern-matching engine (Figure 4 semantics)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.core.algebra.bind import FilterMatcher, match_filter
+from repro.model.filters import (
+    FConst,
+    FDescend,
+    FElem,
+    FRest,
+    FStar,
+    FVar,
+    LabelRegex,
+    LabelVar,
+    felem,
+)
+from repro.model.trees import atom_leaf, collection_node, elem, ref
+
+
+@pytest.fixture
+def works():
+    """The Figure 1 / Figure 4 works collection."""
+    return elem(
+        "works",
+        elem(
+            "work",
+            atom_leaf("artist", "Claude Monet"),
+            atom_leaf("title", "Nympheas"),
+            atom_leaf("style", "Impressionist"),
+            atom_leaf("size", "21 x 61"),
+            atom_leaf("cplace", "Giverny"),
+        ),
+        elem(
+            "work",
+            atom_leaf("artist", "Claude Monet"),
+            atom_leaf("title", "Waterloo Bridge"),
+            atom_leaf("style", "Impressionist"),
+            atom_leaf("size", "29.2 x 46.4"),
+            elem("history", atom_leaf("technique", "Oil on canvas")),
+        ),
+    )
+
+
+@pytest.fixture
+def figure4_filter():
+    return felem(
+        "works",
+        FStar(
+            felem(
+                "work",
+                felem("artist", FVar("a")),
+                felem("title", FVar("t")),
+                felem("style", FVar("s")),
+                felem("size", FVar("si")),
+                FRest("fields"),
+            )
+        ),
+    )
+
+
+class TestFigure4:
+    def test_one_row_per_work(self, works, figure4_filter):
+        rows = match_filter(works, figure4_filter)
+        assert len(rows) == 2
+
+    def test_variables_bound_to_atom_values(self, works, figure4_filter):
+        rows = match_filter(works, figure4_filter)
+        assert rows[0]["t"] == "Nympheas"
+        assert rows[1]["t"] == "Waterloo Bridge"
+        assert {row["a"] for row in rows} == {"Claude Monet"}
+
+    def test_rest_binds_optional_elements(self, works, figure4_filter):
+        rows = match_filter(works, figure4_filter)
+        first_fields = rows[0]["fields"]
+        assert isinstance(first_fields, tuple)
+        assert [n.label for n in first_fields] == ["cplace"]
+        assert [n.label for n in rows[1]["fields"]] == ["history"]
+
+    def test_rest_empty_when_all_claimed(self):
+        doc = elem("works", elem("work", atom_leaf("title", "X")))
+        flt = felem("works", FStar(felem("work", felem("title", FVar("t")),
+                                         FRest("f"))))
+        rows = match_filter(doc, flt)
+        assert rows == [{"t": "X", "f": ()}]
+
+
+class TestMandatoryAndStar:
+    def test_missing_mandatory_child_fails(self, works):
+        flt = felem("works", FStar(felem("work", felem("price", FVar("p")))))
+        assert match_filter(works, flt) == []
+
+    def test_star_with_zero_matches_fails_element(self):
+        doc = elem("artifact", atom_leaf("title", "X"))
+        flt = felem("artifact", felem("owners", FStar(FVar("o"))))
+        assert match_filter(doc, flt) == []
+
+    def test_star_iterates_all_matches(self):
+        doc = elem("a", atom_leaf("x", 1), atom_leaf("x", 2), atom_leaf("y", 3))
+        flt = felem("a", FStar(felem("x", FVar("v"))))
+        rows = match_filter(doc, flt)
+        assert sorted(row["v"] for row in rows) == [1, 2]
+
+    def test_multiple_matches_of_plain_child_multiply_rows(self):
+        doc = elem("a", atom_leaf("x", 1), atom_leaf("x", 2))
+        flt = felem("a", felem("x", FVar("v")))
+        rows = match_filter(doc, flt)
+        assert sorted(row["v"] for row in rows) == [1, 2]
+
+    def test_cartesian_product_across_children(self):
+        doc = elem("a", atom_leaf("x", 1), atom_leaf("x", 2),
+                   atom_leaf("y", 10), atom_leaf("y", 20))
+        flt = felem("a", felem("x", FVar("v")), felem("y", FVar("w")))
+        rows = match_filter(doc, flt)
+        assert len(rows) == 4
+
+    def test_explosion_guard(self):
+        children = [atom_leaf("x", i) for i in range(20)]
+        doc = elem("a", *children)
+        flt = felem(
+            "a",
+            *[felem("x", FVar(f"v{i}")) for i in range(6)],
+        )
+        matcher = FilterMatcher(max_matches=1000)
+        with pytest.raises(BindError):
+            matcher.match(doc, flt)
+
+
+class TestVariablesAndConstants:
+    def test_tree_variable_binds_subtree(self, works):
+        flt = felem("works", FStar(felem("work", var="w")))
+        rows = match_filter(works, flt)
+        assert len(rows) == 2
+        assert rows[0]["w"].label == "work"
+
+    def test_variable_on_atom_leaf_binds_value(self):
+        assert match_filter(atom_leaf("t", 42), FVar("x")) == [{"x": 42}]
+
+    def test_constant_matches(self):
+        doc = elem("w", atom_leaf("style", "Impressionist"))
+        assert match_filter(doc, felem("w", felem("style", FConst("Impressionist"))))
+        assert not match_filter(doc, felem("w", felem("style", FConst("Cubist"))))
+
+    def test_label_variable_binds_label(self):
+        doc = elem("tuple", atom_leaf("name", "X"), atom_leaf("auction", 10))
+        flt = felem("tuple", FElem(LabelVar("l"), (FVar("v"),)))
+        rows = match_filter(doc, flt)
+        assert {(r["l"], r["v"]) for r in rows} == {("name", "X"), ("auction", 10)}
+
+    def test_label_regex(self):
+        doc = elem("w", atom_leaf("cplace", "Giverny"), atom_leaf("place", "Paris"))
+        flt = felem("w", FElem(LabelRegex("c.*"), (FVar("v"),)))
+        rows = match_filter(doc, flt)
+        assert [r["v"] for r in rows] == ["Giverny"]
+
+
+class TestNavigation:
+    def test_descend_matches_at_depth(self, works):
+        flt = FDescend(felem("technique", FVar("x")))
+        rows = match_filter(works, flt)
+        assert rows == [{"x": "Oil on canvas"}]
+
+    def test_descend_includes_root(self):
+        doc = atom_leaf("x", 1)
+        assert match_filter(doc, FDescend(felem("x", FVar("v")))) == [{"v": 1}]
+
+    def test_path_navigation(self, works):
+        flt = felem("works", felem("work", felem("cplace", FVar("c"))))
+        rows = match_filter(works, flt)
+        assert rows == [{"c": "Giverny"}]
+
+
+class TestReferences:
+    def test_deref_through_index(self):
+        person = elem("class", elem("person", atom_leaf("name", "X")), ident="p1")
+        doc = elem("owners", ref("class", "p1"))
+        flt = felem("owners", felem("class", felem("person", felem("name", FVar("n")))))
+        rows = FilterMatcher(index={"p1": person}).match(doc, flt)
+        assert rows == [{"n": "X"}]
+
+    def test_no_index_no_deref(self):
+        doc = elem("owners", ref("class", "p1"))
+        flt = felem("owners", felem("class", felem("person", felem("name", FVar("n")))))
+        assert match_filter(doc, flt) == []
+
+    def test_variable_binds_reference_node_undereferenced(self):
+        doc = elem("owners", ref("class", "p1"))
+        rows = match_filter(doc, felem("owners", FStar(FVar("r"))))
+        assert rows[0]["r"].is_reference
+
+
+class TestCollectionsEntryPoint:
+    def test_match_collection_unions_rows(self):
+        docs = [atom_leaf("t", 1), atom_leaf("t", 2)]
+        rows = FilterMatcher().match_collection(docs, felem("t", FVar("v")))
+        assert [r["v"] for r in rows] == [1, 2]
+
+    def test_star_and_rest_outside_element_rejected(self):
+        with pytest.raises(BindError):
+            match_filter(elem("x"), FStar(FVar("v")))
+        with pytest.raises(BindError):
+            match_filter(elem("x"), FRest("v"))

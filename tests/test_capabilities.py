@@ -1,0 +1,220 @@
+"""Unit tests for Fmodels, interfaces and the XML capability codec."""
+
+import pytest
+
+from repro.errors import CapabilityError, XmlFormatError
+from repro.capabilities import (
+    ArgSpec,
+    FModel,
+    FPat,
+    OperationDecl,
+    SelectionImplication,
+    SourceInterface,
+    fleaf,
+    fnode,
+    fref,
+    fstar,
+    funion,
+    interface_to_xml,
+    o2_fmodel,
+    wais_fmodel,
+    xml_to_interface,
+)
+from repro.capabilities.xml_codec import element_to_fpat, fpat_to_element
+from repro.model.patterns import SYMBOL, PAtomic, PNode, PatternLibrary
+
+
+class TestFPat:
+    def test_flag_validation(self):
+        with pytest.raises(CapabilityError):
+            FPat("node", label="x", bind="sometimes")
+        with pytest.raises(CapabilityError):
+            FPat("node", label="x", inst="fully")
+
+    def test_kind_validation(self):
+        with pytest.raises(CapabilityError):
+            FPat("wobble")
+
+    def test_star_arity(self):
+        with pytest.raises(CapabilityError):
+            FPat("star", children=())
+
+    def test_union_needs_alternatives(self):
+        with pytest.raises(CapabilityError):
+            FPat("union", children=())
+
+    def test_ref_needs_target(self):
+        with pytest.raises(CapabilityError):
+            FPat("ref")
+
+    def test_equality(self):
+        assert fleaf("Int") == fleaf("Int")
+        assert fleaf("Int") != fleaf("Int", bind="none")
+
+
+class TestFModel:
+    def test_define_resolve(self):
+        model = FModel("m")
+        model.define("F", fleaf("Int"))
+        assert model.resolve("F") == fleaf("Int")
+        assert "F" in model
+
+    def test_duplicate_rejected(self):
+        model = FModel("m")
+        model.define("F", fleaf("Int"))
+        with pytest.raises(CapabilityError):
+            model.define("F", fleaf("Int"))
+
+    def test_unknown(self):
+        with pytest.raises(CapabilityError):
+            FModel("m").resolve("ghost")
+
+
+class TestPaperFmodels:
+    def test_o2_fclass_flags(self):
+        """Figure 6 lines 3-7: the three Fclass restrictions."""
+        fclass = o2_fmodel().resolve("Fclass")
+        assert fclass.bind == "tree"           # (i) bind whole objects
+        attribute = fclass.children[0]
+        assert attribute.label == SYMBOL
+        assert attribute.bind == "none"        # (ii) no schema extraction
+        assert attribute.inst == "ground"      # (iii) class name ground
+
+    def test_o2_ftype_is_a_union_of_type_formers(self):
+        ftype = o2_fmodel().resolve("Ftype")
+        assert ftype.kind == "union"
+        labels = {c.label for c in ftype.children if c.kind == "node"}
+        assert {"tuple", "set", "bag", "list", "array"} <= labels
+
+    def test_o2_collection_stars_frozen(self):
+        ftype = o2_fmodel().resolve("Ftype")
+        set_former = next(c for c in ftype.children if c.label == "set")
+        assert set_former.children[0].kind == "star"
+        assert set_former.children[0].inst == "none"
+
+    def test_o2_tuple_star_ground(self):
+        ftype = o2_fmodel().resolve("Ftype")
+        tuple_former = next(c for c in ftype.children if c.label == "tuple")
+        assert tuple_former.children[0].inst == "ground"
+
+    def test_wais_fworks_restrictions(self):
+        """Section 4.2: only whole work documents can be bound."""
+        fworks = wais_fmodel().resolve("Fworks")
+        assert fworks.bind == "none"
+        assert fworks.inst == "ground"
+        star = fworks.children[0]
+        assert star.inst == "none"
+        assert star.children[0].bind == "tree"
+        assert star.children[0].ref == ("Artworks_Structure", "work")
+
+
+class TestArgSpecsAndOperations:
+    def test_argspec_roles(self):
+        assert ArgSpec.leaf("Int").leaf_type == "Int"
+        assert ArgSpec.value("m", "p").role == "value"
+        assert ArgSpec.filter("m", "p").role == "filter"
+
+    def test_argspec_validation(self):
+        with pytest.raises(CapabilityError):
+            ArgSpec("leaf")
+        with pytest.raises(CapabilityError):
+            ArgSpec("value", model="m")
+        with pytest.raises(CapabilityError):
+            ArgSpec("weird", model="m", pattern="p")
+
+    def test_operation_kind_validation(self):
+        with pytest.raises(CapabilityError):
+            OperationDecl("x", "magic")
+
+    def test_interface_queries(self):
+        interface = SourceInterface("s")
+        interface.add_operation(OperationDecl("bind", "algebra",
+                                              inputs=[ArgSpec.filter("m", "F")]))
+        interface.add_operation(OperationDecl("eq", "boolean"))
+        interface.add_operation(OperationDecl("contains", "external"))
+        interface.add_operation(OperationDecl("current_price", "method"))
+        assert interface.supports("bind")
+        assert set(interface.predicate_names()) == {"eq", "contains"}
+        assert interface.method_names() == ("current_price",)
+        assert interface.bind_filter_specs()[0].pattern == "F"
+
+    def test_duplicate_declarations_rejected(self):
+        interface = SourceInterface("s")
+        interface.add_operation(OperationDecl("eq", "boolean"))
+        with pytest.raises(CapabilityError):
+            interface.add_operation(OperationDecl("eq", "boolean"))
+        interface.add_document("d", "m", "p")
+        with pytest.raises(CapabilityError):
+            interface.add_document("d", "m", "p")
+
+
+class TestXmlCodec:
+    def _full_interface(self):
+        interface = SourceInterface("o2artifact")
+        library = PatternLibrary("schema")
+        library.define("work", PNode("work", [PAtomic("String")]))
+        interface.add_structure(library)
+        interface.add_document("artifacts", "schema", "work")
+        interface.add_fmodel(o2_fmodel())
+        interface.add_operation(
+            OperationDecl(
+                "bind",
+                "algebra",
+                inputs=[ArgSpec.value("schema", "work"),
+                        ArgSpec.filter("o2fmodel", "Ftype")],
+                output=ArgSpec.value("yat", "Tab"),
+            )
+        )
+        interface.add_operation(OperationDecl("select", "algebra"))
+        interface.add_operation(OperationDecl("eq", "boolean"))
+        interface.add_equivalence(SelectionImplication("=", "contains", "String"))
+        return interface
+
+    def test_interface_round_trip(self):
+        interface = self._full_interface()
+        parsed = xml_to_interface(interface_to_xml(interface))
+        assert parsed.name == interface.name
+        assert set(parsed.operations) == set(interface.operations)
+        assert parsed.operations["bind"] == interface.operations["bind"]
+        assert parsed.equivalences == interface.equivalences
+        assert parsed.documents == interface.documents
+        assert parsed.fmodels["o2fmodel"].resolve("Fclass") == o2_fmodel().resolve(
+            "Fclass"
+        )
+        assert parsed.structures["schema"].resolve("work") == PNode(
+            "work", [PAtomic("String")]
+        )
+
+    def test_fpat_round_trip_all_kinds(self):
+        patterns = [
+            fleaf("Int", bind="none"),
+            fnode("tuple", fstar(fnode(SYMBOL, fleaf("Int")), inst="ground"),
+                  bind="tree", collection="set"),
+            funion(fleaf("Int"), fref("m", "F", bind="tree")),
+            FPat("any", bind="label"),
+        ]
+        for fpat in patterns:
+            assert element_to_fpat(fpat_to_element(fpat)) == fpat
+
+    def test_ref_spelling_accepted(self):
+        import xml.etree.ElementTree as ET
+
+        parsed = element_to_fpat(ET.fromstring('<ref pattern="Fclass"/>'))
+        assert parsed.kind == "ref"
+        assert parsed.ref == ("", "Fclass")
+
+    def test_malformed_interface_rejected(self):
+        with pytest.raises(XmlFormatError):
+            xml_to_interface("<interface><mystery/></interface>")
+        with pytest.raises(XmlFormatError):
+            xml_to_interface("<notinterface/>")
+
+    def test_figure6_shape_in_xml(self):
+        """The emitted XML uses the Figure 6 vocabulary."""
+        text = interface_to_xml(self._full_interface())
+        assert "<fmodel" in text
+        assert '<fpattern name="Fclass">' in text
+        assert 'bind="tree"' in text
+        assert 'inst="ground"' in text
+        assert '<operation name="bind" kind="algebra">' in text
+        assert "<filter" in text and "<value" in text

@@ -1,0 +1,196 @@
+"""Unit tests for the admissibility matcher (Section 4 semantics)."""
+
+import pytest
+
+from repro.capabilities.matcher import CapabilityMatcher
+from repro.core.algebra.expressions import (
+    BoolAnd,
+    BoolNot,
+    Cmp,
+    Const,
+    FunCall,
+    Var,
+    eq,
+)
+from repro.datasets.cultural import small_figure1_pair
+from repro.model.filters import (
+    FConst,
+    FDescend,
+    FElem,
+    FRest,
+    FStar,
+    FVar,
+    LabelRegex,
+    LabelVar,
+    felem,
+)
+from repro.wrappers import O2Wrapper, WaisWrapper
+
+
+@pytest.fixture
+def o2_matcher():
+    database, _ = small_figure1_pair()
+    return CapabilityMatcher(O2Wrapper("o2artifact", database).interface())
+
+
+@pytest.fixture
+def wais_matcher():
+    _, store = small_figure1_pair()
+    return CapabilityMatcher(WaisWrapper("xmlartwork", store).interface())
+
+
+def artifacts_filter():
+    """The view's artifacts filter (Figure 5 left branch)."""
+    return felem(
+        "set",
+        FStar(
+            felem(
+                "class",
+                felem(
+                    "artifact",
+                    felem(
+                        "tuple",
+                        felem("title", FVar("t")),
+                        felem("year", FVar("y")),
+                        felem("creator", FVar("c")),
+                        felem("price", FVar("p")),
+                        felem(
+                            "owners",
+                            felem(
+                                "list",
+                                FStar(
+                                    felem(
+                                        "class",
+                                        felem(
+                                            "person",
+                                            felem(
+                                                "tuple",
+                                                felem("name", FVar("o")),
+                                                felem("auction", FVar("au")),
+                                            ),
+                                        ),
+                                    )
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            )
+        ),
+    )
+
+
+class TestO2FilterAdmissibility:
+    def test_view_filter_admissible(self, o2_matcher):
+        assert o2_matcher.bind_admissible(artifacts_filter())
+
+    def test_tree_variable_on_class_allowed(self, o2_matcher):
+        flt = felem("set", FStar(felem("class", var="x")))
+        assert o2_matcher.bind_admissible(flt)
+
+    def test_label_variable_on_class_name_rejected(self, o2_matcher):
+        # bind="none" + inst="ground" on the class-name node (Figure 6).
+        flt = felem("set", FStar(felem("class", FElem(LabelVar("cls")))))
+        result = o2_matcher.bind_admissible(flt)
+        assert not result
+        assert "cls" in result.reason or "label" in result.reason.lower()
+
+    def test_label_variable_on_tuple_attribute_rejected(self, o2_matcher):
+        # The tuple star is inst="ground": attributes must be named.
+        flt = felem(
+            "set",
+            FStar(
+                felem(
+                    "class",
+                    felem("artifact", felem("tuple", FElem(LabelVar("l"), (FVar("v"),)))),
+                )
+            ),
+        )
+        assert not o2_matcher.bind_admissible(flt)
+
+    def test_rest_variable_on_tuple_rejected(self, o2_matcher):
+        flt = felem(
+            "set",
+            FStar(felem("class", felem("artifact", felem("tuple", FRest("rest"))))),
+        )
+        assert not o2_matcher.bind_admissible(flt)
+
+    def test_descend_rejected(self, o2_matcher):
+        flt = felem("set", FStar(FDescend(FVar("x"))))
+        assert not o2_matcher.bind_admissible(flt)
+
+    def test_constant_at_leaf_allowed(self, o2_matcher):
+        flt = felem(
+            "set",
+            FStar(
+                felem(
+                    "class",
+                    felem("artifact", felem("tuple", felem("year", FConst(1897)))),
+                )
+            ),
+        )
+        assert o2_matcher.bind_admissible(flt)
+
+
+class TestWaisFilterAdmissibility:
+    def test_whole_document_binding_admissible(self, wais_matcher):
+        flt = felem("works", FStar(felem("work", var="w")))
+        assert wais_matcher.bind_admissible(flt)
+
+    def test_bare_variable_star_admissible(self, wais_matcher):
+        flt = felem("works", FStar(FVar("w")))
+        assert wais_matcher.bind_admissible(flt)
+
+    def test_deep_filtering_rejected(self, wais_matcher):
+        flt = felem("works", FStar(felem("work", felem("title", FVar("t")))))
+        result = wais_matcher.bind_admissible(flt)
+        assert not result
+        assert "whole subtrees" in result.reason
+
+    def test_variable_on_root_rejected(self, wais_matcher):
+        # bind="none" on the works node itself.
+        flt = felem("works", FStar(felem("work", var="w")), var="all")
+        assert not wais_matcher.bind_admissible(flt)
+
+    def test_positional_match_rejected(self, wais_matcher):
+        # inst="none" on the star: items must iterate, not match singly.
+        flt = felem("works", felem("work", var="w"))
+        result = wais_matcher.bind_admissible(flt)
+        assert not result
+
+    def test_wrong_root_label_rejected(self, wais_matcher):
+        flt = felem("artworks", FStar(felem("work", var="w")))
+        assert not wais_matcher.bind_admissible(flt)
+
+
+class TestPredicatePushability:
+    def test_o2_comparisons_pushable(self, o2_matcher):
+        assert o2_matcher.predicate_pushable(Cmp(">", Var("y"), Const(1800)))
+        assert o2_matcher.predicate_pushable(
+            BoolAnd([eq(Var("c"), Var("a")), BoolNot(eq(Var("t"), Const("x")))])
+        )
+
+    def test_o2_method_pushable(self, o2_matcher):
+        predicate = Cmp(
+            "<", FunCall("current_price", [Var("x")]), Const(100.0)
+        )
+        assert o2_matcher.predicate_pushable(predicate)
+
+    def test_o2_unknown_function_rejected(self, o2_matcher):
+        assert not o2_matcher.predicate_pushable(
+            FunCall("levenshtein", [Var("a"), Var("b")])
+        )
+
+    def test_wais_contains_pushable(self, wais_matcher):
+        assert wais_matcher.predicate_pushable(
+            FunCall("contains", [Var("w"), Const("impressionist")])
+        )
+
+    def test_wais_equality_not_pushable(self, wais_matcher):
+        result = wais_matcher.predicate_pushable(eq(Var("s"), Const("x")))
+        assert not result
+        assert "eq" in result.reason
+
+    def test_operation_pushable(self, o2_matcher, wais_matcher):
+        assert o2_matcher.operation_pushable("map")
+        assert not wais_matcher.operation_pushable("map")

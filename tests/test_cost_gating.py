@@ -1,0 +1,109 @@
+"""Tests for the cost-gated information passing extension.
+
+The paper's round three converts joins to bind joins unconditionally;
+the gate (an extension, off by default) uses wrapper-supplied statistics
+— document sizes and index-derived text selectivities — to keep the
+conversion only when the dependent plan is estimated cheaper.
+"""
+
+import pytest
+
+from repro import Mediator, O2Wrapper, WaisWrapper
+from repro.core.algebra.expressions import Cmp, Const, FunCall, Var, eq
+from repro.core.algebra.operators import DJoinOp
+from repro.core.optimizer.cost import CostHints
+from repro.datasets import CulturalDataset, Q2, VIEW1_YAT
+
+
+def gated_mediator(fraction, n=80):
+    database, store = CulturalDataset(
+        n_artifacts=n, impressionist_fraction=fraction, seed=6
+    ).build()
+    mediator = Mediator(gate_information_passing=True)
+    mediator.connect(O2Wrapper("o2artifact", database))
+    mediator.connect(WaisWrapper("xmlartwork", store))
+    mediator.declare_containment("artworks", "artifacts")
+    mediator.load_program(VIEW1_YAT)
+    return mediator
+
+
+class TestSelectivityProbing:
+    def test_wais_wrapper_estimates_document_frequency(self):
+        _db, store = CulturalDataset(
+            n_artifacts=50, impressionist_fraction=0.5, seed=1
+        ).build()
+        wrapper = WaisWrapper("xmlartwork", store)
+        fraction = wrapper.estimate_text_selectivity("Impressionist")
+        assert 0.2 < fraction < 0.8
+        assert wrapper.estimate_text_selectivity("zzz-nowhere") == 0.0
+
+    def test_o2_wrapper_has_no_estimate(self):
+        database, _store = CulturalDataset(n_artifacts=10, seed=1).build()
+        assert O2Wrapper("o2", database).estimate_text_selectivity("x") is None
+
+    def test_document_stats_exported(self):
+        database, store = CulturalDataset(n_artifacts=10, seed=1).build()
+        stats = WaisWrapper("xmlartwork", store).document_stats()
+        size, cardinality = stats["artworks"]
+        assert size > 100
+        assert cardinality == 10
+
+
+class TestCostHintsSelectivity:
+    def test_known_constant_used(self):
+        hints = CostHints(text_selectivities={"Impressionist": 0.9})
+        predicate = eq(Var("s"), Const("Impressionist"))
+        assert hints.predicate_selectivity(predicate) == pytest.approx(0.9)
+
+    def test_contains_constant_used(self):
+        hints = CostHints(text_selectivities={"Giverny": 0.05})
+        predicate = FunCall("contains", [Var("w"), Const("Giverny")])
+        assert hints.predicate_selectivity(predicate) == pytest.approx(0.05)
+
+    def test_unknown_constant_falls_back(self):
+        hints = CostHints(default_selectivity=0.25)
+        predicate = eq(Var("s"), Const("whatever"))
+        assert hints.predicate_selectivity(predicate) == pytest.approx(0.25)
+
+    def test_conjunction_multiplies(self):
+        hints = CostHints(
+            default_selectivity=0.5, text_selectivities={"a": 0.1}
+        )
+        from repro.core.algebra.expressions import BoolAnd
+
+        predicate = BoolAnd(
+            [eq(Var("x"), Const("a")), Cmp(">", Var("y"), Const(1))]
+        )
+        assert hints.predicate_selectivity(predicate) == pytest.approx(0.05)
+
+    def test_capped_at_one(self):
+        hints = CostHints(text_selectivities={"a": 1.0}, default_selectivity=1.0)
+        predicate = eq(Var("x"), Const("a"))
+        assert hints.predicate_selectivity(predicate) == 1.0
+
+
+class TestGatedDecisions:
+    def test_selective_predicate_keeps_bind_join(self):
+        mediator = gated_mediator(0.05)
+        result = mediator.query(Q2)
+        assert any(isinstance(n, DJoinOp) for n in result.plan.walk())
+
+    def test_broad_predicate_keeps_bulk_join(self):
+        mediator = gated_mediator(0.9)
+        result = mediator.query(Q2)
+        assert not any(isinstance(n, DJoinOp) for n in result.plan.walk())
+
+    @pytest.mark.parametrize("fraction", [0.05, 0.5, 0.9])
+    def test_gated_answers_always_correct(self, fraction):
+        mediator = gated_mediator(fraction)
+        assert (
+            mediator.query(Q2).document()
+            == mediator.query(Q2, optimize=False).document()
+        )
+
+    def test_gate_off_by_default(self):
+        mediator = gated_mediator(0.9)
+        mediator.gate_information_passing = False
+        result = mediator.query(Q2)
+        # without the gate, the paper's unconditional bind join applies
+        assert any(isinstance(n, DJoinOp) for n in result.plan.walk())

@@ -1,0 +1,101 @@
+"""Tests for the cultural-goods dataset generators."""
+
+import pytest
+
+from repro.datasets import ARTISTS, CulturalDataset, art_schema, small_figure1_pair
+from repro.sources.wais.query import WaisQuery, WaisTerm
+
+
+class TestSmallFigure1Pair:
+    def test_exact_figure1_content(self):
+        database, store = small_figure1_pair()
+        assert database.extent("artifacts") == ("a1", "a2")
+        nympheas = database.get("a1")
+        assert nympheas.values["year"] == 1897
+        assert len(nympheas.values["owners"]) == 3
+        works = store.collection_tree()
+        titles = [w.child("title").atom for w in works.children]
+        assert titles == ["Nympheas", "Waterloo Bridge"]
+
+    def test_giverny_only_on_nympheas(self):
+        _db, store = small_figure1_pair()
+        hits = store.search(WaisQuery([WaisTerm("giverny")]))
+        assert hits == ("d1",)
+
+
+class TestCulturalDataset:
+    def test_deterministic_for_same_seed(self):
+        a_db, a_store = CulturalDataset(n_artifacts=12, seed=9).build()
+        b_db, b_store = CulturalDataset(n_artifacts=12, seed=9).build()
+        assert a_db.export_extent("artifacts") == b_db.export_extent("artifacts")
+        assert a_store.collection_tree() == b_store.collection_tree()
+
+    def test_different_seeds_differ(self):
+        a = CulturalDataset(n_artifacts=12, seed=1).build()[1].collection_tree()
+        b = CulturalDataset(n_artifacts=12, seed=2).build()[1].collection_tree()
+        assert a != b
+
+    def test_sizes(self):
+        database, store = CulturalDataset(n_artifacts=25, extra_works=5).build()
+        assert len(database.extent("artifacts")) == 25
+        assert len(store) == 30
+
+    def test_every_artifact_has_matching_work(self):
+        """The containment Figure 8's branch elimination relies on."""
+        database, store = CulturalDataset(n_artifacts=20, seed=4).build()
+        works = {
+            (w.child("title").atom, w.child("artist").atom)
+            for w in store.collection_tree().children
+        }
+        for oid in database.extent("artifacts"):
+            values = database.get(oid).values
+            assert (values["title"], values["creator"]) in works
+
+    def test_all_years_after_1800(self):
+        database, _ = CulturalDataset(n_artifacts=40).build()
+        for oid in database.extent("artifacts"):
+            assert database.get(oid).values["year"] > 1800
+
+    def test_extra_works_break_containment(self):
+        database, store = CulturalDataset(
+            n_artifacts=5, extra_works=3, seed=2
+        ).build()
+        artifact_titles = {
+            database.get(oid).values["title"]
+            for oid in database.extent("artifacts")
+        }
+        work_titles = {
+            w.child("title").atom for w in store.collection_tree().children
+        }
+        assert len(work_titles - artifact_titles) == 3
+
+    def test_impressionist_fraction_controls_selectivity(self):
+        dense = CulturalDataset(n_artifacts=60, impressionist_fraction=0.9,
+                                seed=3).build()[1]
+        sparse = CulturalDataset(n_artifacts=60, impressionist_fraction=0.05,
+                                 seed=3).build()[1]
+        count = lambda store: len(
+            store.search(WaisQuery([WaisTerm("Impressionist", field="style")]))
+        )
+        assert count(dense) > count(sparse)
+
+    def test_referential_integrity(self):
+        database, _ = CulturalDataset(n_artifacts=30).build()
+        database.check_integrity()
+
+    def test_sales_table_mirrors_artifacts(self):
+        dataset = CulturalDataset(n_artifacts=10, seed=6)
+        database, _ = dataset.build()
+        sql = dataset.build_sales(database)
+        assert sql.row_count("sales") == 10
+        rows = sql.query("SELECT title FROM sales ORDER BY title")
+        o2_titles = sorted(
+            database.get(oid).values["title"]
+            for oid in database.extent("artifacts")
+        )
+        assert [r["title"] for r in rows] == o2_titles
+
+    def test_method_current_price(self):
+        database, _ = small_figure1_pair()
+        method = database.schema.methods["current_price"]
+        assert method.implementation(database, "a1") == pytest.approx(2_200_000.0)

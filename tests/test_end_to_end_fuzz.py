@@ -1,0 +1,82 @@
+"""End-to-end fuzzing: naive and optimized answers must always agree.
+
+The single most important invariant of the whole system: for any
+dataset shape and any of the paper's queries, the three-round optimizer
+(gated or not) never changes the answer.  Hypothesis drives dataset
+parameters; every failure here is a soundness bug in some rewrite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Mediator, O2Wrapper, WaisWrapper
+from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT
+
+QUERIES = {"Q1": Q1, "Q2": Q2}
+
+datasets = st.fixed_dictionaries(
+    {
+        "n_artifacts": st.integers(min_value=1, max_value=25),
+        "extra_works": st.integers(min_value=0, max_value=5),
+        "impressionist_fraction": st.floats(min_value=0.0, max_value=1.0),
+        "cplace_probability": st.floats(min_value=0.0, max_value=1.0),
+        "owners_per_artifact": st.integers(min_value=1, max_value=3),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def build(params, declare_containment):
+    database, store = CulturalDataset(**params).build()
+    mediator = Mediator()
+    mediator.connect(O2Wrapper("o2artifact", database))
+    mediator.connect(WaisWrapper("xmlartwork", store))
+    if declare_containment:
+        mediator.declare_containment("artworks", "artifacts")
+    mediator.load_program(VIEW1_YAT)
+    return mediator
+
+
+class TestOptimizerSoundness:
+    @given(params=datasets)
+    @settings(max_examples=25, deadline=None)
+    def test_q2_all_round_prefixes_agree(self, params):
+        mediator = build(params, declare_containment=False)
+        reference = mediator.query(Q2, optimize=False).document()
+        for rounds in [(1,), (1, 2), (1, 2, 3)]:
+            assert mediator.query(Q2, rounds=rounds).document() == reference
+
+    @given(params=datasets)
+    @settings(max_examples=25, deadline=None)
+    def test_q1_with_containment_agrees(self, params):
+        # Containment only holds without extra works; declare it only then,
+        # exactly as an administrator would.
+        params = dict(params, extra_works=0)
+        mediator = build(params, declare_containment=True)
+        naive = mediator.query(Q1, optimize=False).document()
+        assert mediator.query(Q1).document() == naive
+
+    @given(params=datasets)
+    @settings(max_examples=15, deadline=None)
+    def test_q1_without_containment_agrees(self, params):
+        # Extra works present and no containment declared: the optimizer
+        # must NOT eliminate the O2 branch, and answers still match.
+        mediator = build(params, declare_containment=False)
+        naive = mediator.query(Q1, optimize=False).document()
+        result = mediator.query(Q1)
+        assert result.document() == naive
+        if params["extra_works"] or True:
+            assert "JoinBranchElimination" not in result.trace.rule_names()
+
+    @given(params=datasets)
+    @settings(max_examples=15, deadline=None)
+    def test_gated_optimizer_agrees(self, params):
+        database, store = CulturalDataset(**params).build()
+        mediator = Mediator(gate_information_passing=True)
+        mediator.connect(O2Wrapper("o2artifact", database))
+        mediator.connect(WaisWrapper("xmlartwork", store))
+        mediator.load_program(VIEW1_YAT)
+        assert (
+            mediator.query(Q2).document()
+            == mediator.query(Q2, optimize=False).document()
+        )

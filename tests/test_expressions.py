@@ -1,0 +1,131 @@
+"""Unit tests for algebra expressions and predicates."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.core.algebra.expressions import (
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Const,
+    FunCall,
+    Var,
+    conjunction,
+    conjuncts,
+    eq,
+)
+from repro.core.algebra.tab import Row
+from repro.model.filters import MISSING
+from repro.model.trees import atom_leaf, elem
+
+
+def row(**cells):
+    names = tuple(cells)
+    return Row(names, tuple(cells.values()))
+
+
+class TestScalars:
+    def test_var(self):
+        assert Var("t").evaluate(row(t=3)) == 3
+
+    def test_const(self):
+        assert Const("x").evaluate(row()) == "x"
+
+    def test_variables_listing(self):
+        expr = BoolAnd([eq(Var("a"), Var("b")), Cmp("<", Var("a"), Const(1))])
+        assert expr.variables() == ("a", "b")
+
+    def test_functions_listing(self):
+        expr = FunCall("contains", [Var("w"), Const("x")])
+        assert expr.functions() == ("contains",)
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        r = row(x=2, y=3)
+        assert Cmp("<", Var("x"), Var("y")).evaluate(r)
+        assert Cmp("<=", Var("x"), Var("x")).evaluate(r)
+        assert Cmp(">", Var("y"), Var("x")).evaluate(r)
+        assert Cmp(">=", Var("y"), Var("y")).evaluate(r)
+        assert Cmp("!=", Var("x"), Var("y")).evaluate(r)
+        assert eq(Var("x"), Const(2)).evaluate(r)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(EvaluationError):
+            Cmp("~", Var("x"), Var("y"))
+
+    def test_missing_compares_false(self):
+        r = row(x=MISSING)
+        assert not eq(Var("x"), Const(1)).evaluate(r)
+        assert not Cmp("!=", Var("x"), Const(1)).evaluate(r)
+
+    def test_atom_leaf_unwrapped(self):
+        r = row(t=atom_leaf("title", "Nympheas"))
+        assert eq(Var("t"), Const("Nympheas")).evaluate(r)
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(EvaluationError):
+            Cmp("<", Var("x"), Const("a")).evaluate(row(x=elem("w")))
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        r = row(x=1)
+        true = eq(Var("x"), Const(1))
+        false = eq(Var("x"), Const(2))
+        assert BoolAnd([true, true]).evaluate(r)
+        assert not BoolAnd([true, false]).evaluate(r)
+        assert BoolOr([false, true]).evaluate(r)
+        assert not BoolOr([false, false]).evaluate(r)
+        assert BoolNot(false).evaluate(r)
+
+
+class TestFunctions:
+    def test_call_through_registry(self):
+        expr = FunCall("double", [Var("x")])
+        assert expr.evaluate(row(x=5), {"double": lambda v: v * 2}) == 10
+
+    def test_missing_implementation_raises(self):
+        expr = FunCall("contains", [Var("x"), Const("y")])
+        with pytest.raises(EvaluationError):
+            expr.evaluate(row(x=1), {})
+
+
+class TestRewriting:
+    def test_substitute(self):
+        expr = eq(Var("a"), Var("b"))
+        replaced = expr.substitute({"a": Const(1)})
+        assert replaced == eq(Const(1), Var("b"))
+
+    def test_rename(self):
+        expr = BoolAnd([eq(Var("a"), Const(1)), Cmp("<", Var("b"), Var("a"))])
+        renamed = expr.rename({"a": "x"})
+        assert renamed.variables() == ("x", "b")
+
+    def test_equality_structural(self):
+        assert eq(Var("a"), Const(1)) == eq(Var("a"), Const(1))
+        assert eq(Var("a"), Const(1)) != eq(Var("a"), Const(2))
+
+    def test_text_rendering(self):
+        expr = BoolAnd([Cmp(">", Var("y"), Const(1800)), eq(Var("c"), Var("a"))])
+        assert "$y > 1800" in expr.text()
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_flatten(self):
+        a, b, c = (eq(Var(n), Const(1)) for n in "abc")
+        nested = BoolAnd([a, BoolAnd([b, c])])
+        assert conjuncts(nested) == (a, b, c)
+
+    def test_conjuncts_of_plain_predicate(self):
+        a = eq(Var("a"), Const(1))
+        assert conjuncts(a) == (a,)
+
+    def test_conjunction_inverse(self):
+        a, b = eq(Var("a"), Const(1)), eq(Var("b"), Const(2))
+        assert conjunction([a]) == a
+        assert conjuncts(conjunction([a, b])) == (a, b)
+
+    def test_empty_conjunction_is_true(self):
+        assert conjunction([]).evaluate(row()) is True

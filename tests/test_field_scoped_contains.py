@@ -1,0 +1,136 @@
+"""Tests for field-scoped full-text predicates (free-WAIS-sf fields).
+
+Section 4.2 notes that Z39.50 sources handle per-field querying by
+"declaring a predicate for each queried field and exporting them to the
+mediator".  The Wais wrapper exports ``contains_<field>`` for every
+queryable field; the equivalence-insertion rule prefers the scoped
+predicate when the compared variable's binding label is known — cutting
+the false positives the generic document-wide ``contains`` would return.
+"""
+
+import pytest
+
+from repro import Mediator, WaisWrapper
+from repro.datasets import small_figure1_pair
+from repro.model.trees import atom_leaf, elem
+from repro.sources.wais.store import WaisStore
+
+
+@pytest.fixture
+def tricky_store():
+    """A store where 'Impressionist' appears outside the style field."""
+    store = WaisStore()
+    store.add(
+        elem(
+            "work",
+            atom_leaf("artist", "Claude Monet"),
+            atom_leaf("title", "Nympheas"),
+            atom_leaf("style", "Impressionist"),
+            atom_leaf("size", "21 x 61"),
+        )
+    )
+    store.add(
+        elem(
+            "work",
+            atom_leaf("artist", "Gustave Courbet"),
+            atom_leaf("title", "The Stone Breakers"),
+            atom_leaf("style", "Realist"),
+            atom_leaf("size", "10 x 20"),
+            elem(
+                "history",
+                atom_leaf("note", "Often contrasted with the Impressionist school"),
+            ),
+        )
+    )
+    return store
+
+
+@pytest.fixture
+def mediator(tricky_store):
+    m = Mediator()
+    m.connect(WaisWrapper("xmlartwork", tricky_store))
+    return m
+
+
+class TestExportedOperations:
+    def test_per_field_predicates_declared(self, tricky_store):
+        interface = WaisWrapper("xmlartwork", tricky_store).interface()
+        assert interface.supports("contains")
+        assert interface.supports("contains_style")
+        assert interface.supports("contains_artist")
+        assert not interface.supports("contains_work")
+
+    def test_unqueryable_fields_not_declared(self):
+        store = WaisStore(queryable_fields=("style",))
+        store.add(elem("work", atom_leaf("artist", "X"), atom_leaf("style", "Y"),
+                       atom_leaf("title", "T"), atom_leaf("size", "S")))
+        interface = WaisWrapper("xmlartwork", store).interface()
+        assert interface.supports("contains_style")
+        assert not interface.supports("contains_artist")
+
+    def test_equivalence_marked_field_scoped(self, tricky_store):
+        interface = WaisWrapper("xmlartwork", tricky_store).interface()
+        assert interface.equivalences[0].field_scoped
+
+    def test_scoped_flag_survives_xml_round_trip(self, tricky_store):
+        from repro.capabilities import xml_to_interface
+
+        wrapper = WaisWrapper("xmlartwork", tricky_store)
+        parsed = xml_to_interface(wrapper.interface_xml())
+        assert parsed.equivalences[0].field_scoped
+
+
+class TestScopedPushdown:
+    QUERY = """
+    MAKE $t
+    MATCH artworks WITH works *work [ title . $t, style . $s ]
+    WHERE $s = "Impressionist"
+    """
+
+    def test_scoped_search_avoids_false_positives(self, mediator):
+        result = mediator.query(self.QUERY)
+        titles = [c.atom for c in result.document().children]
+        assert titles == ["Nympheas"]
+        natives = result.report.stats.distinct_native_queries()
+        assert natives == [("xmlartwork", "wais-search style=(Impressionist)")]
+
+    def test_scoped_search_transfers_fewer_documents(self, mediator):
+        scoped = mediator.query(self.QUERY)
+        # the generic contains would have fetched the Courbet too
+        assert scoped.report.stats.total_rows_transferred == 1
+
+    def test_answers_match_naive(self, mediator):
+        assert (
+            mediator.query(self.QUERY).document()
+            == mediator.query(self.QUERY, optimize=False).document()
+        )
+
+    def test_generic_contains_used_when_label_unknown(self, mediator):
+        # $w binds the whole work: no single field label, generic search.
+        query = (
+            'MAKE $t MATCH artworks WITH works *work $w [ title . $t ] '
+            'WHERE contains($w, "Impressionist")'
+        )
+        result = mediator.query(query)
+        titles = sorted(c.atom for c in result.document().children)
+        # generic: both works contain the word somewhere
+        assert titles == ["Nympheas", "The Stone Breakers"]
+
+
+class TestMediatorFallback:
+    def test_field_contains_fallback_registered(self, mediator):
+        assert "contains_style" in mediator.functions
+        impl = mediator.functions["contains_style"]
+        work = elem("work", atom_leaf("style", "Impressionist"),
+                    atom_leaf("note", "not a style"))
+        assert impl(work, "impressionist")
+        assert not impl(work, "note")
+
+    def test_unpushed_scoped_predicate_still_evaluates(self, mediator):
+        query = (
+            'MAKE $t MATCH artworks WITH works *work $w [ title . $t ] '
+            'WHERE contains_style($w, "Impressionist")'
+        )
+        result = mediator.query(query, optimize=False)
+        titles = [c.atom for c in result.document().children]
+        assert titles == ["Nympheas"]

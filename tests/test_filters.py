@@ -1,0 +1,117 @@
+"""Unit tests for repro.model.filters (structure; matching is in test_bind)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.model.filters import (
+    FConst,
+    FDescend,
+    FElem,
+    FRest,
+    FStar,
+    FVar,
+    LabelRegex,
+    LabelVar,
+    felem,
+    fpath,
+)
+from repro.model.patterns import SYMBOL, PAny, PConstLeaf, PNode, PStar
+
+
+class TestVariables:
+    def test_document_order(self):
+        flt = felem(
+            "work",
+            felem("title", FVar("t")),
+            felem("artist", FVar("a")),
+            FRest("fields"),
+            var="w",
+        )
+        assert flt.variables() == ("w", "t", "a", "fields")
+
+    def test_label_variable_counted(self):
+        flt = felem("tuple", FElem(LabelVar("l"), (FVar("v"),)))
+        assert flt.variables() == ("l", "v")
+
+    def test_duplicate_variable_rejected(self):
+        flt = felem("w", felem("a", FVar("x")), felem("b", FVar("x")))
+        with pytest.raises(BindError):
+            flt.variables()
+
+    def test_at_most_one_rest_item(self):
+        with pytest.raises(BindError):
+            felem("w", FRest("a"), FRest("b"))
+
+
+class TestLabelSpecs:
+    def test_concrete_label(self):
+        assert felem("work").label_matches("work")
+        assert not felem("work").label_matches("artifact")
+
+    def test_label_variable_matches_everything(self):
+        assert FElem(LabelVar("l")).label_matches("anything")
+
+    def test_label_regex_full_match(self):
+        flt = FElem(LabelRegex("c.*e"))
+        assert flt.label_matches("cplace")
+        assert not flt.label_matches("place")
+        assert not flt.label_matches("cplaces!")
+
+
+class TestEquality:
+    def test_structural(self):
+        a = felem("w", felem("t", FVar("x")))
+        b = felem("w", felem("t", FVar("x")))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_var_name_matters(self):
+        assert felem("w", FVar("x")) != felem("w", FVar("y"))
+
+
+class TestToPattern:
+    def test_variables_erase_to_any(self):
+        assert FVar("x").to_pattern() == PAny()
+
+    def test_constants_become_const_leaves(self):
+        assert FConst("Giverny").to_pattern() == PConstLeaf("Giverny")
+
+    def test_element_structure_preserved(self):
+        pattern = felem("work", FStar(FVar("f"))).to_pattern()
+        assert pattern == PNode("work", [PStar(PAny())])
+
+    def test_label_variable_becomes_symbol(self):
+        pattern = FElem(LabelVar("l"), (FVar("v"),)).to_pattern()
+        assert isinstance(pattern, PNode)
+        assert pattern.label == SYMBOL
+
+    def test_rest_becomes_star_any(self):
+        pattern = felem("w", FRest("f")).to_pattern()
+        assert pattern == PNode("w", [PStar(PAny())])
+
+
+class TestFpath:
+    def test_builds_nested_chain(self):
+        flt = fpath("doc", "work", leaf=FVar("t"))
+        assert flt.label == "doc"
+        assert flt.children[0].label == "work"
+        assert isinstance(flt.children[0].children[0], FVar)
+
+    def test_single_step(self):
+        assert fpath("doc") == felem("doc")
+
+    def test_empty_requires_leaf(self):
+        with pytest.raises(BindError):
+            fpath()
+        assert fpath(leaf=FVar("x")) == FVar("x")
+
+
+class TestPretty:
+    def test_renders_nested(self):
+        text = felem("work", felem("title", FVar("t")), FRest("f")).pretty()
+        assert "work" in text
+        assert "$t" in text
+        assert "*($f)" in text
+
+    def test_descend(self):
+        assert "descend" in FDescend(FVar("x")).pretty()

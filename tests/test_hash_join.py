@@ -1,0 +1,146 @@
+"""Tests for the associative (hash) join fast path.
+
+The hash path must be *semantically invisible*: any predicate it accepts
+must produce exactly the nested-loop result, including the corner cases
+(numeric cross-type equality, MISSING never joining, atom-leaf cells).
+"""
+
+import pytest
+
+from repro.core.algebra.evaluator import Environment, evaluate
+from repro.core.algebra.expressions import (
+    BoolAnd,
+    Cmp,
+    Const,
+    FunCall,
+    Var,
+    eq,
+)
+from repro.core.algebra.operators import JoinOp, LiteralOp
+from repro.core.algebra.tab import Row, Tab
+from repro.core.optimizer.bind_split import ref_is
+from repro.model.filters import MISSING
+from repro.model.trees import atom_leaf, elem, ref
+
+
+def literal(columns, rows):
+    return LiteralOp(Tab(columns, [Row(columns, cells) for cells in rows]))
+
+
+def run(plan):
+    return evaluate(plan, Environment({}, functions={"ref_is": ref_is}))
+
+
+def nested_loop_reference(left, right, predicate):
+    """Oracle: evaluate the join predicate row pair by row pair."""
+    out_columns = left.tab.columns + right.tab.columns
+    rows = []
+    for lrow in left.tab:
+        for rrow in right.tab:
+            merged = Row(out_columns, lrow.cells + rrow.cells)
+            if bool(predicate.evaluate(merged, {"ref_is": ref_is})):
+                rows.append(merged)
+    return rows
+
+
+def assert_matches_oracle(left, right, predicate):
+    tab = run(JoinOp(left, right, predicate))
+    oracle = nested_loop_reference(left, right, predicate)
+    assert {r._value_key() for r in tab} == {r._value_key() for r in oracle}
+    assert len(tab) == len(oracle)
+
+
+class TestEqualityHashJoin:
+    def test_basic(self):
+        left = literal(("x",), [(1,), (2,), (3,)])
+        right = literal(("y",), [(2,), (3,), (4,)])
+        assert_matches_oracle(left, right, eq(Var("x"), Var("y")))
+
+    def test_multi_key(self):
+        left = literal(("a", "b"), [(1, "u"), (1, "v"), (2, "u")])
+        right = literal(("c", "d"), [(1, "u"), (2, "u"), (2, "v")])
+        predicate = BoolAnd([eq(Var("a"), Var("c")), eq(Var("b"), Var("d"))])
+        assert_matches_oracle(left, right, predicate)
+
+    def test_reversed_sides_in_predicate(self):
+        left = literal(("x",), [(1,), (2,)])
+        right = literal(("y",), [(2,)])
+        assert_matches_oracle(left, right, eq(Var("y"), Var("x")))
+
+    def test_cross_type_numeric_equality(self):
+        # 2 == 2.0 and True == 1 for the = predicate; the hash path must agree.
+        left = literal(("x",), [(2,), (True,), (0,)])
+        right = literal(("y",), [(2.0,), (1,), (False,)])
+        assert_matches_oracle(left, right, eq(Var("x"), Var("y")))
+
+    def test_missing_never_joins(self):
+        left = literal(("x",), [(MISSING,), (1,)])
+        right = literal(("y",), [(MISSING,), (1,)])
+        assert_matches_oracle(left, right, eq(Var("x"), Var("y")))
+        tab = run(JoinOp(left, right, eq(Var("x"), Var("y"))))
+        assert len(tab) == 1  # only 1 = 1
+
+    def test_atom_leaf_cells_unwrapped(self):
+        left = literal(("x",), [(atom_leaf("t", "Nympheas"),)])
+        right = literal(("y",), [("Nympheas",), ("Other",)])
+        assert_matches_oracle(left, right, eq(Var("x"), Var("y")))
+        assert len(run(JoinOp(left, right, eq(Var("x"), Var("y"))))) == 1
+
+    def test_duplicates_multiply(self):
+        left = literal(("x",), [(1,), (1,)])
+        right = literal(("y",), [(1,), (1,), (1,)])
+        tab = run(JoinOp(left, right, eq(Var("x"), Var("y"))))
+        assert len(tab) == 6
+
+
+class TestRefIsHashJoin:
+    def test_reference_identity(self):
+        p1 = elem("class", atom_leaf("name", "X"), ident="p1")
+        p2 = elem("class", atom_leaf("name", "Y"), ident="p2")
+        left = literal(("r",), [(ref("class", "p1"),), (ref("class", "p2"),),
+                                (ref("class", "ghost"),)])
+        right = literal(("o",), [(p1,), (p2,)])
+        predicate = FunCall("ref_is", [Var("r"), Var("o")])
+        assert_matches_oracle(left, right, predicate)
+        assert len(run(JoinOp(left, right, predicate))) == 2
+
+    def test_swapped_sides(self):
+        p1 = elem("class", ident="p1")
+        left = literal(("o",), [(p1,)])
+        right = literal(("r",), [(ref("class", "p1"),)])
+        predicate = FunCall("ref_is", [Var("r"), Var("o")])
+        assert_matches_oracle(left, right, predicate)
+
+    def test_unidentified_node_never_joins(self):
+        left = literal(("r",), [(ref("class", "p1"),)])
+        right = literal(("o",), [(elem("class"),)])  # no ident
+        predicate = FunCall("ref_is", [Var("r"), Var("o")])
+        assert len(run(JoinOp(left, right, predicate))) == 0
+
+
+class TestFallbackPreserved:
+    def test_inequality_falls_back(self):
+        left = literal(("x",), [(1,), (2,), (3,)])
+        right = literal(("y",), [(2,)])
+        predicate = Cmp("<", Var("x"), Var("y"))
+        assert_matches_oracle(left, right, predicate)
+        assert len(run(JoinOp(left, right, predicate))) == 1
+
+    def test_same_side_equality_falls_back(self):
+        left = literal(("x", "z"), [(1, 1), (1, 2)])
+        right = literal(("y",), [(9,)])
+        predicate = eq(Var("x"), Var("z"))  # both on the left side
+        assert_matches_oracle(left, right, predicate)
+
+    def test_constant_predicate_falls_back(self):
+        left = literal(("x",), [(1,), (2,)])
+        right = literal(("y",), [(5,)])
+        predicate = eq(Var("x"), Const(1))
+        assert_matches_oracle(left, right, predicate)
+
+    def test_mixed_conjunction_falls_back(self):
+        left = literal(("x",), [(1,), (2,)])
+        right = literal(("y",), [(1,), (2,)])
+        predicate = BoolAnd([eq(Var("x"), Var("y")),
+                             Cmp("<", Var("x"), Const(2))])
+        assert_matches_oracle(left, right, predicate)

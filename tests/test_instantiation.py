@@ -1,0 +1,187 @@
+"""Unit tests for repro.model.instantiation (data <: pattern, pattern <: pattern)."""
+
+import pytest
+
+from repro.model.instantiation import is_instance, subsumes
+from repro.model.patterns import (
+    SYMBOL,
+    PAny,
+    PAtomic,
+    PConstLeaf,
+    PNode,
+    PRef,
+    PStar,
+    PUnion,
+    PatternLibrary,
+    odmg_model_library,
+)
+from repro.model.trees import atom_leaf, collection_node, elem, ref
+
+
+@pytest.fixture
+def work_pattern():
+    return PNode(
+        "work",
+        [
+            PNode("artist", [PAtomic("String")]),
+            PNode("title", [PAtomic("String")]),
+            PStar(PAny()),
+        ],
+    )
+
+
+@pytest.fixture
+def nympheas():
+    return elem(
+        "work",
+        atom_leaf("artist", "Claude Monet"),
+        atom_leaf("title", "Nympheas"),
+        atom_leaf("cplace", "Giverny"),
+    )
+
+
+class TestDataInstance:
+    def test_any_matches_everything(self, nympheas):
+        assert is_instance(nympheas, PAny())
+
+    def test_partially_structured_document(self, work_pattern, nympheas):
+        # Mandatory fields plus a star absorbing the optional elements.
+        assert is_instance(nympheas, work_pattern)
+
+    def test_missing_mandatory_field_fails(self, work_pattern):
+        incomplete = elem("work", atom_leaf("artist", "X"))
+        assert not is_instance(incomplete, work_pattern)
+
+    def test_label_mismatch_fails(self, work_pattern, nympheas):
+        other = elem("artwork", *nympheas.children)
+        assert not is_instance(other, work_pattern)
+
+    def test_symbol_label_matches_any(self, nympheas):
+        assert is_instance(nympheas, PNode(SYMBOL, [PStar(PAny())]))
+
+    def test_atomic_type_checked(self):
+        assert is_instance(atom_leaf("year", 1897), PNode("year", [PAtomic("Int")]))
+        assert not is_instance(
+            atom_leaf("year", "1897"), PNode("year", [PAtomic("Int")])
+        )
+
+    def test_const_leaf(self):
+        pattern = PNode("style", [PConstLeaf("Impressionist")])
+        assert is_instance(atom_leaf("style", "Impressionist"), pattern)
+        assert not is_instance(atom_leaf("style", "Cubist"), pattern)
+
+    def test_union(self):
+        pattern = PUnion([PAtomic("Int"), PAtomic("String")])
+        assert is_instance(atom_leaf("x", 3), PNode("x", [pattern]))
+        assert not is_instance(atom_leaf("x", 3.5), PNode("x", [pattern]))
+
+    def test_star_absorbs_zero_or_more(self):
+        pattern = PNode("works", [PStar(PNode("work", [PStar(PAny())]))])
+        assert is_instance(elem("works"), pattern)
+        assert is_instance(elem("works", elem("work"), elem("work")), pattern)
+        assert not is_instance(elem("works", elem("other")), pattern)
+
+    def test_reference_against_ref_pattern(self):
+        assert is_instance(ref("class", "p1"), PRef("Person"))
+
+    def test_recursive_pattern_through_library(self):
+        lib = PatternLibrary("t")
+        lib.define(
+            "Tree",
+            PNode("n", [PStar(PRef("Tree"))]),
+        )
+        nested = elem("n", elem("n", elem("n")))
+        assert is_instance(nested, PRef("Tree"), lib)
+        assert not is_instance(elem("m"), PRef("Tree"), lib)
+
+    def test_unordered_collection_matching(self):
+        pattern = PNode(
+            "tuple",
+            [PNode("a", [PAtomic("Int")]), PNode("b", [PAtomic("Int")])],
+            collection="set",
+        )
+        data = collection_node(
+            "set", "tuple", [atom_leaf("b", 2), atom_leaf("a", 1)]
+        )
+        assert is_instance(data, pattern)
+
+    def test_collection_kind_mismatch(self):
+        pattern = PNode("s", [PStar(PAny())], collection="set")
+        data = collection_node("list", "s", [atom_leaf("x", 1)])
+        assert not is_instance(data, pattern)
+
+
+class TestFigure3Instantiation:
+    """The paper's Figure 3 chain: Artifact <: ODMG <: YAT."""
+
+    def _artifact_schema_pattern(self):
+        from repro.datasets.cultural import art_schema
+
+        return art_schema().to_pattern_library().resolve("artifact")
+
+    def test_artifact_data_instance_of_schema(self):
+        from repro.datasets.cultural import small_figure1_pair
+
+        database, _store = small_figure1_pair()
+        lib = database.schema.to_pattern_library()
+        tree = database.export_object("a1")
+        assert is_instance(tree, lib.resolve("artifact"), lib)
+
+    def test_artifact_schema_instance_of_odmg(self):
+        odmg = odmg_model_library()
+        artifact = self._artifact_schema_pattern()
+        assert subsumes(PRef("Class"), artifact, odmg)
+
+    def test_odmg_instance_of_yat(self):
+        odmg = odmg_model_library()
+        assert subsumes(PAny(), odmg.resolve("Class"), odmg)
+
+    def test_artifact_not_instance_of_unrelated(self):
+        artifact = self._artifact_schema_pattern()
+        assert not subsumes(PNode("relation", [PStar(PAny())]), artifact)
+
+
+class TestSubsumption:
+    def test_reflexive_on_simple_patterns(self):
+        for pattern in (PAtomic("Int"), PNode("a", [PAtomic("Int")]), PAny()):
+            assert subsumes(pattern, pattern)
+
+    def test_const_under_atomic(self):
+        assert subsumes(PAtomic("String"), PConstLeaf("x"))
+        assert not subsumes(PAtomic("Int"), PConstLeaf("x"))
+
+    def test_union_on_general_side(self):
+        general = PUnion([PAtomic("Int"), PAtomic("String")])
+        assert subsumes(general, PAtomic("Int"))
+        assert not subsumes(general, PAtomic("Float"))
+
+    def test_union_on_specific_side(self):
+        specific = PUnion([PAtomic("Int"), PAtomic("String")])
+        assert subsumes(PUnion([PAtomic("Int"), PAtomic("String"), PAtomic("Float")]),
+                        specific)
+        assert not subsumes(PAtomic("Int"), specific)
+
+    def test_symbol_generalizes_concrete_label(self):
+        general = PNode(SYMBOL, [PAtomic("Int")])
+        specific = PNode("year", [PAtomic("Int")])
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_star_absorbs_sequences(self):
+        general = PNode("w", [PStar(PAtomic("Int"))])
+        specific = PNode("w", [PAtomic("Int"), PAtomic("Int")])
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_star_vs_star(self):
+        general = PNode("w", [PStar(PAny())])
+        specific = PNode("w", [PStar(PAtomic("Int"))])
+        assert subsumes(general, specific)
+
+    def test_collection_kind_general_none_matches_any(self):
+        general = PNode("s", [PStar(PAny())])
+        specific = PNode("s", [PStar(PAny())], collection="set")
+        assert subsumes(general, specific)
+        # The other direction is stricter: a set-typed pattern does not
+        # subsume an untyped one.
+        assert not subsumes(specific, general)

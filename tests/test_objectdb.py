@@ -1,0 +1,167 @@
+"""Unit tests for the mini-O2 object database (schema, storage, export)."""
+
+import pytest
+
+from repro.errors import SchemaError, SourceError
+from repro.model.instantiation import is_instance
+from repro.model.patterns import PNode, PRef, PStar
+from repro.sources.objectdb import (
+    AtomicType,
+    ClassDef,
+    CollectionType,
+    MethodDef,
+    ObjectDatabase,
+    Oid,
+    RefType,
+    Schema,
+    TupleType,
+)
+from repro.datasets.cultural import art_schema, small_figure1_pair
+
+
+class TestSchema:
+    def test_duplicate_class_rejected(self):
+        schema = Schema("s")
+        schema.add_class(ClassDef("c", TupleType([("x", AtomicType("Int"))])))
+        with pytest.raises(SchemaError):
+            schema.add_class(ClassDef("c", TupleType([("x", AtomicType("Int"))])))
+
+    def test_duplicate_extent_rejected(self):
+        schema = Schema("s")
+        schema.add_class(
+            ClassDef("a", TupleType([("x", AtomicType("Int"))]), extent="e")
+        )
+        with pytest.raises(SchemaError):
+            schema.add_class(
+                ClassDef("b", TupleType([("x", AtomicType("Int"))]), extent="e")
+            )
+
+    def test_method_on_unknown_class_rejected(self):
+        schema = Schema("s")
+        with pytest.raises(SchemaError):
+            schema.add_method(
+                MethodDef("m", "ghost", AtomicType("Int"), lambda db, oid: 0)
+            )
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            TupleType([("x", AtomicType("Int")), ("x", AtomicType("Int"))])
+
+    def test_validate_catches_dangling_reference(self):
+        schema = Schema("s")
+        schema.add_class(
+            ClassDef("a", TupleType([("r", RefType("ghost"))]), extent="aa")
+        )
+        with pytest.raises(SchemaError):
+            ObjectDatabase(schema)
+
+    def test_unknown_collection_kind(self):
+        with pytest.raises(SchemaError):
+            CollectionType("heap", AtomicType("Int"))
+
+    def test_pattern_library_exports_classes_and_extents(self):
+        library = art_schema().to_pattern_library()
+        assert "artifact" in library
+        assert "artifacts" in library
+        extent = library.resolve("artifacts")
+        assert extent == PNode("set", [PStar(PRef("artifact"))], collection="set")
+
+
+class TestStorage:
+    def test_insert_and_get(self):
+        database, _ = small_figure1_pair()
+        obj = database.get("a1")
+        assert obj.values["title"] == "Nympheas"
+
+    def test_extent_order(self):
+        database, _ = small_figure1_pair()
+        assert database.extent("artifacts") == ("a1", "a2")
+
+    def test_missing_attribute_rejected(self):
+        database, _ = small_figure1_pair()
+        with pytest.raises(SourceError):
+            database.insert("person", {"name": "X"})
+
+    def test_extra_attribute_rejected(self):
+        database, _ = small_figure1_pair()
+        with pytest.raises(SourceError):
+            database.insert(
+                "person", {"name": "X", "auction": 1.0, "extra": True}
+            )
+
+    def test_type_mismatch_rejected(self):
+        database, _ = small_figure1_pair()
+        with pytest.raises(SourceError):
+            database.insert("person", {"name": 42, "auction": 1.0})
+
+    def test_bool_is_not_int(self):
+        schema = Schema("s")
+        schema.add_class(
+            ClassDef("c", TupleType([("x", AtomicType("Int"))]), extent="cs")
+        )
+        database = ObjectDatabase(schema)
+        with pytest.raises(SourceError):
+            database.insert("c", {"x": True})
+
+    def test_reference_must_be_oid(self):
+        database, _ = small_figure1_pair()
+        with pytest.raises(SourceError):
+            database.insert(
+                "artifact",
+                {"title": "x", "year": 1900, "creator": "c", "price": 1.0,
+                 "owners": ["p1"]},
+            )
+
+    def test_duplicate_oid_rejected(self):
+        database, _ = small_figure1_pair()
+        with pytest.raises(SourceError):
+            database.insert(
+                "person", {"name": "X", "auction": 1.0}, oid="a1"
+            )
+
+    def test_integrity_check_catches_dangling(self):
+        database, _ = small_figure1_pair()
+        database.insert(
+            "artifact",
+            {"title": "x", "year": 1900, "creator": "c", "price": 1.0,
+             "owners": [Oid("ghost")]},
+        )
+        with pytest.raises(SourceError):
+            database.check_integrity()
+
+    def test_deref(self):
+        database, _ = small_figure1_pair()
+        owner = database.get("a1").values["owners"][0]
+        assert database.deref(owner).class_name == "person"
+
+
+class TestExport:
+    def test_extent_exports_figure3_encoding(self):
+        database, _ = small_figure1_pair()
+        tree = database.export_extent("artifacts")
+        assert tree.label == "set"
+        assert tree.collection == "set"
+        first = tree.children[0]
+        assert first.label == "class"
+        assert first.ident == "a1"
+        assert first.children[0].label == "artifact"
+        assert first.children[0].children[0].label == "tuple"
+
+    def test_exported_references_are_reference_nodes(self):
+        database, _ = small_figure1_pair()
+        tree = database.export_object("a1")
+        owners = tree.find(lambda n: n.label == "owners")
+        refs = owners.children[0].children
+        assert all(node.is_reference for node in refs)
+
+    def test_export_instance_of_schema_pattern(self):
+        database, _ = small_figure1_pair()
+        library = database.schema.to_pattern_library()
+        tree = database.export_extent("artifacts")
+        assert is_instance(tree, library.resolve("artifacts"), library)
+
+    def test_ident_index_covers_all_objects(self):
+        database, _ = small_figure1_pair()
+        index = database.ident_index()
+        assert "a1" in index and "a2" in index
+        assert index["a1"].ident == "a1"

@@ -1,0 +1,200 @@
+"""Unit tests for the OQL subset: lexer, parser, evaluator."""
+
+import pytest
+
+from repro.errors import OqlError, OqlSyntaxError
+from repro.sources.objectdb import (
+    AtomicType,
+    ClassDef,
+    CollectionType,
+    MethodDef,
+    ObjectDatabase,
+    Oid,
+    RefType,
+    Schema,
+    TupleType,
+    evaluate_oql,
+    parse_oql,
+)
+from repro.sources.objectdb.oql.ast import (
+    OqlCompare,
+    OqlExtent,
+    OqlMethodCall,
+    OqlPath,
+    OqlSelect,
+)
+
+
+@pytest.fixture
+def db():
+    schema = Schema("art")
+    schema.add_class(
+        ClassDef(
+            "person",
+            TupleType([("name", AtomicType("String")), ("auction", AtomicType("Float"))]),
+            extent="persons",
+        )
+    )
+    schema.add_class(
+        ClassDef(
+            "artifact",
+            TupleType(
+                [
+                    ("title", AtomicType("String")),
+                    ("year", AtomicType("Int")),
+                    ("price", AtomicType("Float")),
+                    ("owners", CollectionType("list", RefType("person"))),
+                ]
+            ),
+            extent="artifacts",
+        )
+    )
+    schema.add_method(
+        MethodDef(
+            "current_price",
+            "artifact",
+            AtomicType("Float"),
+            lambda database, oid: database.get(oid).values["price"] * 1.1,
+        )
+    )
+    database = ObjectDatabase(schema)
+    p1 = database.insert("person", {"name": "Doctor X", "auction": 1.5e6})
+    p2 = database.insert("person", {"name": "Ms Y", "auction": 2.0e6})
+    database.insert(
+        "artifact",
+        {"title": "Nympheas", "year": 1897, "price": 2e6,
+         "owners": [Oid(p1), Oid(p2)]},
+    )
+    database.insert(
+        "artifact",
+        {"title": "Old Piece", "year": 1600, "price": 100.0, "owners": [Oid(p2)]},
+    )
+    return database
+
+
+class TestParser:
+    def test_select_structure(self):
+        query = parse_oql(
+            "select t: A.title from A in artifacts where A.year > 1800"
+        )
+        assert isinstance(query, OqlSelect)
+        assert query.projections[0].alias == "t"
+        assert isinstance(query.where, OqlCompare)
+
+    def test_bare_extent(self):
+        assert isinstance(parse_oql("artifacts"), OqlExtent)
+
+    def test_method_call(self):
+        query = parse_oql("select p: A.current_price() from A in artifacts")
+        assert isinstance(query.projections[0].expr, OqlMethodCall)
+
+    def test_dependent_range(self):
+        query = parse_oql(
+            "select n: O.name from A in artifacts, O in A.owners"
+        )
+        assert isinstance(query.ranges[1].collection, OqlPath)
+        assert query.ranges[1].collection.steps == ("owners",)
+
+    def test_boolean_precedence(self):
+        query = parse_oql(
+            "select t: A.title from A in artifacts "
+            "where A.year > 1800 and A.price < 10 or A.year = 1600"
+        )
+        # or binds loosest: (and) or (=)
+        assert type(query.where).__name__ == "OqlOr"
+
+    def test_string_literals(self):
+        query = parse_oql(
+            'select t: A.title from A in artifacts where A.title = "Nympheas"'
+        )
+        assert query.where.right.value == "Nympheas"
+
+    def test_round_trip_text(self):
+        text = (
+            'select t: A.title, y: A.year from A in artifacts, O in A.owners '
+            'where A.year > 1800 and O.name = "Doctor X"'
+        )
+        assert parse_oql(parse_oql(text).text()).text() == parse_oql(text).text()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "select from artifacts",
+            "select t: from A in artifacts",
+            "select t: A.title frm A in artifacts",
+            "select t: A.title from A artifacts",
+            "",
+            "select t: A.title from A in artifacts where",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(OqlSyntaxError):
+            parse_oql(bad)
+
+
+class TestEvaluator:
+    def test_paper_example_query(self, db):
+        rows = evaluate_oql(
+            "select t: A.title, y: A.year, n: O.name "
+            "from A in artifacts, O in A.owners where A.year > 1800",
+            db,
+        )
+        assert len(rows) == 2  # one artifact, two owners
+        assert {r["n"] for r in rows} == {"Doctor X", "Ms Y"}
+
+    def test_extent_query(self, db):
+        rows = evaluate_oql("artifacts", db)
+        assert len(rows) == 2
+
+    def test_method_evaluation(self, db):
+        rows = evaluate_oql(
+            "select p: A.current_price() from A in artifacts where A.year = 1600",
+            db,
+        )
+        assert rows[0]["p"] == pytest.approx(110.0)
+
+    def test_reference_transparent_in_paths(self, db):
+        rows = evaluate_oql(
+            "select n: O.name from A in artifacts, O in A.owners "
+            "where A.title = \"Old Piece\"",
+            db,
+        )
+        assert rows == [{"n": "Ms Y"}]
+
+    def test_empty_result(self, db):
+        rows = evaluate_oql(
+            "select t: A.title from A in artifacts where A.year > 3000", db
+        )
+        assert rows == []
+
+    def test_or_and_not(self, db):
+        rows = evaluate_oql(
+            "select t: A.title from A in artifacts "
+            "where not (A.year > 1800) or A.title = \"Nympheas\"",
+            db,
+        )
+        assert len(rows) == 2
+
+    def test_unknown_attribute_raises(self, db):
+        with pytest.raises(OqlError):
+            evaluate_oql("select x: A.ghost from A in artifacts", db)
+
+    def test_unknown_extent_raises(self, db):
+        with pytest.raises(Exception):
+            evaluate_oql("select t: A.title from A in ghosts", db)
+
+    def test_unknown_method_raises(self, db):
+        with pytest.raises(OqlError):
+            evaluate_oql("select x: A.ghost_method() from A in artifacts", db)
+
+    def test_method_on_wrong_class_raises(self, db):
+        with pytest.raises(OqlError):
+            evaluate_oql(
+                "select x: P.current_price() from P in persons", db
+            )
+
+    def test_range_over_non_collection_raises(self, db):
+        with pytest.raises(OqlError):
+            evaluate_oql(
+                "select x: B.name from A in artifacts, B in A.title", db
+            )

@@ -1,0 +1,117 @@
+"""Unit tests for repro.model.patterns."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.model.patterns import (
+    SYMBOL,
+    PAny,
+    PAtomic,
+    PConstLeaf,
+    PNode,
+    PRef,
+    PStar,
+    PUnion,
+    PatternLibrary,
+    odmg_model_library,
+    yat_model_library,
+)
+
+
+class TestPatternNodes:
+    def test_atomic_rejects_unknown_type(self):
+        with pytest.raises(PatternError):
+            PAtomic("Decimal")
+
+    def test_union_needs_alternatives(self):
+        with pytest.raises(PatternError):
+            PUnion([])
+
+    def test_equality_is_structural(self):
+        a = PNode("work", [PAtomic("String")])
+        b = PNode("work", [PAtomic("String")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != PNode("work", [PAtomic("Int")])
+
+    def test_wildcard_label(self):
+        assert PNode(SYMBOL).label_is_wildcard
+        assert not PNode("work").label_is_wildcard
+
+    def test_walk_covers_all_nodes(self):
+        pattern = PNode("a", [PStar(PUnion([PAtomic("Int"), PRef("X")]))])
+        kinds = [type(p).__name__ for p in pattern.walk()]
+        assert kinds == ["PNode", "PStar", "PUnion", "PAtomic", "PRef"]
+
+    def test_pretty_mentions_structure(self):
+        text = PNode("tuple", [PStar(PAny())], collection="set").pretty()
+        assert "tuple" in text
+        assert "*" in text
+
+
+class TestPatternLibrary:
+    def test_define_and_resolve(self):
+        lib = PatternLibrary("t")
+        lib.define("X", PAtomic("Int"))
+        assert lib.resolve("X") == PAtomic("Int")
+        assert "X" in lib
+
+    def test_redefinition_rejected(self):
+        lib = PatternLibrary("t")
+        lib.define("X", PAtomic("Int"))
+        with pytest.raises(PatternError):
+            lib.define("X", PAtomic("Float"))
+
+    def test_unknown_name(self):
+        with pytest.raises(PatternError):
+            PatternLibrary("t").resolve("missing")
+
+    def test_merge_disjoint(self):
+        a = PatternLibrary("a")
+        a.define("X", PAtomic("Int"))
+        b = PatternLibrary("b")
+        b.define("Y", PAtomic("Float"))
+        merged = a.merged_with(b)
+        assert set(merged.names()) == {"X", "Y"}
+
+    def test_merge_identical_definitions_ok(self):
+        a = PatternLibrary("a")
+        a.define("X", PAtomic("Int"))
+        b = PatternLibrary("b")
+        b.define("X", PAtomic("Int"))
+        assert "X" in a.merged_with(b)
+
+    def test_merge_conflicting_definitions_rejected(self):
+        a = PatternLibrary("a")
+        a.define("X", PAtomic("Int"))
+        b = PatternLibrary("b")
+        b.define("X", PAtomic("Float"))
+        with pytest.raises(PatternError):
+            a.merged_with(b)
+
+    def test_check_references_catches_dangling(self):
+        lib = PatternLibrary("t")
+        lib.define("X", PNode("a", [PRef("Ghost")]))
+        with pytest.raises(PatternError):
+            lib.check_references()
+
+    def test_check_references_allows_recursion(self):
+        lib = PatternLibrary("t")
+        lib.define("X", PNode("a", [PStar(PRef("X"))]))
+        lib.check_references()  # no error
+
+
+class TestBuiltinLibraries:
+    def test_yat_model_is_top(self):
+        lib = yat_model_library()
+        assert isinstance(lib.resolve("Yat"), PAny)
+
+    def test_odmg_model_shape(self):
+        lib = odmg_model_library()
+        lib.check_references()
+        type_pattern = lib.resolve("Type")
+        assert isinstance(type_pattern, PUnion)
+        labels = {
+            alt.label for alt in type_pattern.alternatives if isinstance(alt, PNode)
+        }
+        assert {"tuple", "set", "bag", "list", "array"} <= labels

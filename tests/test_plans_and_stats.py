@@ -1,0 +1,159 @@
+"""Coverage for plan plumbing and execution statistics.
+
+Plan rendering, structural equality, rewrite-safe copying and the stats
+aggregations are load-bearing for the optimizer and the benchmarks;
+these tests pin their behaviour.
+"""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.core.algebra.expressions import Cmp, Const, Var, eq
+from repro.core.algebra.operators import (
+    BindOp,
+    DJoinOp,
+    DistinctOp,
+    FuseOp,
+    GroupOp,
+    IntersectOp,
+    JoinOp,
+    LiteralOp,
+    MapOp,
+    ProjectOp,
+    PushedOp,
+    SelectOp,
+    SortOp,
+    SourceOp,
+    TreeOp,
+    UnionOp,
+    UnitOp,
+)
+from repro.core.algebra.stats import ExecutionStats
+from repro.core.algebra.tab import Row, Tab
+from repro.core.algebra.tree import CElem
+from repro.model.filters import FVar, felem
+
+
+def bind():
+    return BindOp(
+        SourceOp("s", "d"), felem("d", felem("x", FVar("v"))), on="d"
+    )
+
+
+class TestPlanPlumbing:
+    def test_structural_equality(self):
+        assert bind() == bind()
+        assert bind() != BindOp(SourceOp("s", "d"), felem("d"), on="d")
+
+    def test_hashable(self):
+        assert len({bind(), bind()}) == 1
+
+    def test_with_children_replaces_input(self):
+        plan = SelectOp(bind(), eq(Var("v"), Const(1)))
+        replacement = DistinctOp(bind())
+        rebuilt = plan.with_children([replacement])
+        assert isinstance(rebuilt.input, DistinctOp)
+        assert rebuilt.predicate == plan.predicate
+
+    def test_leaf_with_children_rejected(self):
+        with pytest.raises(AlgebraError):
+            SourceOp("s", "d").with_children([bind()])
+
+    def test_sources_in_document_order(self):
+        plan = JoinOp(
+            BindOp(SourceOp("a", "d1"), felem("d1"), on="d1"),
+            BindOp(SourceOp("b", "d2"), felem("d2"), on="d2"),
+            Const(True),
+        )
+        assert plan.sources() == ("a", "b")
+
+    def test_pretty_shows_operators_and_inputs(self):
+        plan = SelectOp(bind(), eq(Var("v"), Const(1)))
+        text = plan.pretty()
+        assert "Select($v = 1)" in text
+        assert "Bind(on=$d -> [$v])" in text
+        assert "Source(s.d)" in text
+
+    def test_pushed_pretty_shows_fragment(self):
+        plan = PushedOp("s", bind(), native="select ...")
+        text = plan.pretty()
+        assert "Pushed@s [select ...]" in text
+        assert "Source(s.d)" in text
+
+    def test_pushed_children_hidden_from_rewrites(self):
+        plan = PushedOp("s", bind())
+        assert plan.children() == ()
+        # ...but the fragment's sources still count
+        assert plan.sources() == ("s",)
+
+    def test_output_columns_through_stack(self):
+        plan = ProjectOp(
+            MapOp(bind(), [("w", Const(1))]),
+            [("v", "value"), ("w", "w")],
+        )
+        assert plan.output_columns() == ("value", "w")
+
+    def test_group_sort_columns(self):
+        grouped = GroupOp(bind(), by=("v",), into="rows")
+        assert grouped.output_columns() == ("v", "rows")
+        assert SortOp(bind(), by=("v",)).output_columns() == ("v",)
+
+    def test_tree_and_fuse_columns(self):
+        tree = TreeOp(bind(), CElem("doc"), "mydoc")
+        assert tree.output_columns() == ("mydoc",)
+        fused = FuseOp([tree, tree], "mydoc")
+        assert fused.output_columns() == ("mydoc",)
+
+    def test_fuse_requires_inputs(self):
+        with pytest.raises(AlgebraError):
+            FuseOp([], "d")
+
+    def test_set_operator_columns(self):
+        lit = LiteralOp(Tab(("x",), []))
+        assert UnionOp(lit, lit).output_columns() == ("x",)
+        assert IntersectOp(lit, lit).output_columns() == ("x",)
+
+    def test_unit_and_literal_describe(self):
+        assert UnitOp().describe() == "Unit"
+        assert "2 rows" in LiteralOp(
+            Tab(("x",), [Row(("x",), (1,)), Row(("x",), (2,))])
+        ).describe()
+
+    def test_djoin_walk_covers_both_sides(self):
+        plan = DJoinOp(bind(), bind())
+        names = [node.operator_name() for node in plan.walk()]
+        assert names.count("Bind") == 2
+
+
+class TestExecutionStats:
+    def make(self):
+        stats = ExecutionStats()
+        stats.record_call("a")
+        stats.record_transfer("a", rows=3, size=100)
+        stats.record_call("b")
+        stats.record_transfer("b", rows=1, size=50)
+        stats.record_operator("Bind", 10)
+        stats.record_operator("Select", 4)
+        stats.record_native("a", "select 1")
+        return stats
+
+    def test_totals(self):
+        stats = self.make()
+        assert stats.total_rows_transferred == 4
+        assert stats.total_bytes_transferred == 150
+        assert stats.total_source_calls == 2
+        assert stats.mediator_rows == 14
+
+    def test_as_dict(self):
+        data = self.make().as_dict()
+        assert data["bytes_transferred"] == {"a": 100, "b": 50}
+        assert data["operator_counts"] == {"Bind": 1, "Select": 1}
+        assert data["total_source_calls"] == 2
+
+    def test_summary_mentions_sources_and_operators(self):
+        text = self.make().summary()
+        assert "from a: 3 rows, 100 bytes" in text
+        assert "Bind×1" in text
+
+    def test_repr(self):
+        assert "rows=4" in repr(self.make())

@@ -1,0 +1,103 @@
+"""Unit tests for the sqlite3-backed relational source."""
+
+import pytest
+
+from repro.errors import SqlSourceError
+from repro.model.instantiation import is_instance
+from repro.sources.relational import SqlColumn, SqlDatabase, SqlTable
+
+
+@pytest.fixture
+def db():
+    database = SqlDatabase("salesdb")
+    database.create_table(
+        SqlTable(
+            "sales",
+            [
+                SqlColumn("title", "String"),
+                SqlColumn("year", "Int"),
+                SqlColumn("price", "Float"),
+                SqlColumn("sold", "Bool"),
+            ],
+        )
+    )
+    database.insert_rows(
+        "sales",
+        [
+            {"title": "Nympheas", "year": 1897, "price": 2e6, "sold": True},
+            {"title": "Olympia", "year": 1863, "price": 3e6, "sold": False},
+        ],
+    )
+    return database
+
+
+class TestSchema:
+    def test_identifier_validation(self):
+        with pytest.raises(SqlSourceError):
+            SqlColumn("bad name", "Int")
+        with pytest.raises(SqlSourceError):
+            SqlColumn("1bad", "Int")
+        with pytest.raises(SqlSourceError):
+            SqlTable("drop table; --", [SqlColumn("x", "Int")])
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlSourceError):
+            SqlColumn("x", "Decimal")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SqlSourceError):
+            SqlTable("t", [])
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SqlSourceError):
+            db.create_table(SqlTable("sales", [SqlColumn("x", "Int")]))
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlSourceError):
+            db.table("ghost")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlSourceError):
+            db.table("sales").column("ghost")
+
+
+class TestRows:
+    def test_row_count(self, db):
+        assert db.row_count("sales") == 2
+
+    def test_missing_column_rejected(self, db):
+        with pytest.raises(SqlSourceError):
+            db.insert_rows("sales", [{"title": "x"}])
+
+    def test_parameterized_query(self, db):
+        rows = db.query("SELECT title FROM sales WHERE year > ?", (1880,))
+        assert rows == [{"title": "Nympheas"}]
+
+    def test_bad_sql_wrapped(self, db):
+        with pytest.raises(SqlSourceError):
+            db.query("SELEC nonsense")
+
+
+class TestExport:
+    def test_export_shape(self, db):
+        tree = db.export_table("sales")
+        assert tree.label == "rows"
+        assert tree.collection == "set"
+        assert len(tree.children) == 2
+        first = tree.children[0]
+        assert first.child("title").atom == "Nympheas"
+        assert first.child("year").atom == 1897
+
+    def test_bool_restored(self, db):
+        tree = db.export_table("sales")
+        assert tree.children[0].child("sold").atom is True
+        assert tree.children[1].child("sold").atom is False
+
+    def test_export_instance_of_pattern(self, db):
+        library = db.to_pattern_library()
+        tree = db.export_table("sales")
+        assert is_instance(tree, library.resolve("sales"), library)
+
+    def test_pattern_library_has_row_pattern(self, db):
+        library = db.to_pattern_library()
+        assert "sales_row" in library

@@ -1,0 +1,134 @@
+"""Unit tests for the Tab structure and its XML wire format."""
+
+import pytest
+
+from repro.errors import AlgebraError, UnknownVariableError, XmlFormatError
+from repro.core.algebra.tab import (
+    Row,
+    Tab,
+    tab_serialized_size,
+    tab_to_xml,
+    xml_to_tab,
+)
+from repro.model.filters import MISSING
+from repro.model.trees import atom_leaf, elem
+
+
+@pytest.fixture
+def tab():
+    columns = ("t", "a", "fields")
+    rows = [
+        Row(columns, ("Nympheas", "Monet", (atom_leaf("cplace", "Giverny"),))),
+        Row(columns, ("Bridge", "Monet", ())),
+    ]
+    return Tab(columns, rows)
+
+
+class TestRow:
+    def test_lookup(self, tab):
+        assert tab.rows[0]["t"] == "Nympheas"
+
+    def test_unknown_column_raises(self, tab):
+        with pytest.raises(UnknownVariableError):
+            tab.rows[0]["missing"]
+
+    def test_get_with_default(self, tab):
+        assert tab.rows[0].get("missing", 7) == 7
+
+    def test_arity_checked(self):
+        with pytest.raises(AlgebraError):
+            Row(("a", "b"), (1,))
+
+    def test_extended(self, tab):
+        row = tab.rows[0].extended(("x",), (1,))
+        assert row["x"] == 1
+        assert row["t"] == "Nympheas"
+
+    def test_projected_reorders(self, tab):
+        row = tab.rows[0].projected(("a", "t"))
+        assert row.columns == ("a", "t")
+        assert row.cells == ("Monet", "Nympheas")
+
+    def test_renamed(self, tab):
+        row = tab.rows[0].renamed({"t": "title"})
+        assert row["title"] == "Nympheas"
+
+    def test_value_equality_includes_trees(self):
+        a = Row(("x",), (elem("w", atom_leaf("t", 1)),))
+        b = Row(("x",), (elem("w", atom_leaf("t", 1)),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_as_dict(self, tab):
+        assert tab.rows[1].as_dict()["t"] == "Bridge"
+
+
+class TestTab:
+    def test_column_consistency_enforced(self):
+        with pytest.raises(AlgebraError):
+            Tab(("a",), [Row(("b",), (1,))])
+
+    def test_from_dicts_fills_missing(self):
+        tab = Tab.from_dicts(("a", "b"), [{"a": 1}])
+        assert tab.rows[0]["b"] is MISSING
+
+    def test_project(self, tab):
+        projected = tab.project(("t",))
+        assert projected.columns == ("t",)
+        assert len(projected) == 2
+
+    def test_rename(self, tab):
+        renamed = tab.rename({"t": "title"})
+        assert "title" in renamed.columns
+
+    def test_select(self, tab):
+        kept = tab.select(lambda row: row["t"] == "Bridge")
+        assert len(kept) == 1
+
+    def test_distinct(self):
+        rows = [Row(("a",), (1,)), Row(("a",), (1,)), Row(("a",), (2,))]
+        assert len(Tab(("a",), rows).distinct()) == 2
+
+    def test_extend(self, tab):
+        extended = tab.extend(("n",), lambda row: (len(row["a"]),))
+        assert extended.rows[0]["n"] == 5
+
+    def test_sorted_by(self, tab):
+        ordered = tab.sorted_by(lambda row: row["t"])
+        assert [r["t"] for r in ordered] == ["Bridge", "Nympheas"]
+
+    def test_pretty_truncates(self):
+        tab = Tab(("a",), [Row(("a",), (i,)) for i in range(30)])
+        assert "more rows" in tab.pretty(limit=5)
+
+
+class TestTabWireFormat:
+    def test_round_trip(self, tab):
+        assert xml_to_tab(tab_to_xml(tab)) == tab
+
+    def test_round_trip_missing(self):
+        tab = Tab.from_dicts(("a", "b"), [{"a": 1}])
+        parsed = xml_to_tab(tab_to_xml(tab))
+        assert parsed.rows[0]["b"] is MISSING
+
+    def test_round_trip_nested_collection_of_trees(self, tab):
+        parsed = xml_to_tab(tab_to_xml(tab))
+        fields = parsed.rows[0]["fields"]
+        assert isinstance(fields, tuple)
+        assert fields[0].label == "cplace"
+
+    def test_round_trip_atom_types(self):
+        tab = Tab(("x", "y", "z"), [Row(("x", "y", "z"), (1, 2.5, True))])
+        parsed = xml_to_tab(tab_to_xml(tab))
+        assert parsed.rows[0].cells == (1, 2.5, True)
+
+    def test_serialized_size(self, tab):
+        assert tab_serialized_size(tab) == len(tab_to_xml(tab).encode("utf-8"))
+
+    def test_empty_tab(self):
+        tab = Tab((), [])
+        assert xml_to_tab(tab_to_xml(tab)) == tab
+
+    def test_malformed_rejected(self):
+        with pytest.raises(XmlFormatError):
+            xml_to_tab("<nottab/>")

@@ -1,0 +1,184 @@
+"""Unit tests for the Tree operator's constructor evaluation (Figure 4)."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.core.algebra.expressions import Const, Var
+from repro.core.algebra.skolem import SkolemRegistry
+from repro.core.algebra.tab import Row, Tab
+from repro.core.algebra.tree import (
+    CElem,
+    CGroup,
+    CIterate,
+    CLeaf,
+    CRef,
+    CValue,
+    construct,
+)
+from repro.model.filters import MISSING
+from repro.model.trees import atom_leaf, elem
+
+
+@pytest.fixture
+def works_tab():
+    """The Figure 4 Tab: one row per work."""
+    columns = ("t", "a", "s")
+    rows = [
+        Row(columns, ("Nympheas", "Monet", "Impressionist")),
+        Row(columns, ("Bridge", "Monet", "Impressionist")),
+        Row(columns, ("Olympia", "Manet", "Realist")),
+    ]
+    return Tab(columns, rows)
+
+
+class TestFigure4Tree:
+    def test_group_by_artist(self, works_tab):
+        # result [ *($a) artist [ name: $a, * title: $t ] ]
+        spec = CElem(
+            "result",
+            [
+                CGroup(
+                    [Var("a")],
+                    CElem(
+                        "artist",
+                        [CLeaf("name", Var("a")), CIterate(CLeaf("title", Var("t")))],
+                        skolem=("artist", [Var("a")]),
+                    ),
+                )
+            ],
+        )
+        tree = construct(works_tab, spec)
+        artists = tree.children_with_label("artist")
+        assert len(artists) == 2
+        monet = artists[0]
+        assert monet.child("name").atom == "Monet"
+        assert [n.atom for n in monet.children_with_label("title")] == [
+            "Nympheas",
+            "Bridge",
+        ]
+
+    def test_skolem_idents_assigned(self, works_tab):
+        spec = CElem(
+            "result",
+            [
+                CGroup(
+                    [Var("a")],
+                    CElem("artist", [CLeaf("name", Var("a"))],
+                          skolem=("artist", [Var("a")])),
+                )
+            ],
+        )
+        skolems = SkolemRegistry()
+        tree = construct(works_tab, spec, skolems)
+        idents = [child.ident for child in tree.children]
+        assert len(set(idents)) == 2
+        assert all(ident.startswith("artist_") for ident in idents)
+
+    def test_object_fusion_same_skolem_merges(self):
+        columns = ("k", "v")
+        rows = [Row(columns, ("x", 1)), Row(columns, ("x", 2))]
+        spec = CElem(
+            "result",
+            [
+                CIterate(
+                    CElem("node", [CLeaf("value", Var("v"))],
+                          skolem=("node", [Var("k")])),
+                    distinct=False,
+                )
+            ],
+        )
+        tree = construct(Tab(columns, rows), spec)
+        # Both rows share node("x"): one fused node with both leaves.
+        assert len(tree.children) == 1
+        values = [n.atom for n in tree.children[0].children_with_label("value")]
+        assert values == [1, 2]
+
+
+class TestConstructors:
+    def test_leaf_from_atom(self):
+        tab = Tab(("t",), [Row(("t",), ("X",))])
+        tree = construct(tab, CElem("doc", [CLeaf("title", Var("t"))]))
+        assert tree.child("title").atom == "X"
+
+    def test_leaf_missing_omitted(self):
+        tab = Tab(("t",), [Row(("t",), (MISSING,))])
+        tree = construct(tab, CElem("doc", [CLeaf("title", Var("t"))]))
+        assert tree.children == ()
+
+    def test_leaf_from_collection_becomes_element(self):
+        fields = (atom_leaf("cplace", "Giverny"), atom_leaf("x", 1))
+        tab = Tab(("f",), [Row(("f",), (fields,))])
+        tree = construct(tab, CElem("doc", [CLeaf("more", Var("f"))]))
+        more = tree.child("more")
+        assert [c.label for c in more.children] == ["cplace", "x"]
+
+    def test_leaf_relabels_tree_value(self):
+        node = elem("history", atom_leaf("technique", "Oil"))
+        tab = Tab(("h",), [Row(("h",), (node,))])
+        tree = construct(tab, CElem("doc", [CLeaf("past", Var("h"))]))
+        assert tree.child("past").child("technique").atom == "Oil"
+
+    def test_value_splices_collections(self):
+        fields = (atom_leaf("a", 1), atom_leaf("b", 2))
+        tab = Tab(("f",), [Row(("f",), (fields,))])
+        tree = construct(tab, CElem("doc", [CValue(Var("f"))]))
+        assert [c.label for c in tree.children] == ["a", "b"]
+
+    def test_value_wraps_bare_atom(self):
+        tab = Tab(("t",), [Row(("t",), ("X",))])
+        tree = construct(tab, CElem("doc", [CIterate(CValue(Var("t")))]))
+        assert tree.children[0].label == "value"
+        assert tree.children[0].atom == "X"
+
+    def test_iterate_distinct_by_default(self):
+        tab = Tab(("t",), [Row(("t",), ("X",)), Row(("t",), ("X",))])
+        tree = construct(tab, CElem("doc", [CIterate(CLeaf("t", Var("t")))]))
+        assert len(tree.children) == 1
+
+    def test_iterate_ordered(self):
+        tab = Tab(("t",), [Row(("t",), (3,)), Row(("t",), (1,)), Row(("t",), (2,))])
+        spec = CElem(
+            "doc", [CIterate(CLeaf("t", Var("t")), order_by=[Var("t")])]
+        )
+        tree = construct(tab, spec)
+        assert [c.atom for c in tree.children] == [1, 2, 3]
+
+    def test_iterate_descending(self):
+        tab = Tab(("t",), [Row(("t",), (1,)), Row(("t",), (2,))])
+        spec = CElem(
+            "doc",
+            [CIterate(CLeaf("t", Var("t")), order_by=[Var("t")], descending=True)],
+        )
+        tree = construct(tab, spec)
+        assert [c.atom for c in tree.children] == [2, 1]
+
+    def test_ref_constructor_points_at_skolem_ident(self):
+        tab = Tab(("k",), [Row(("k",), ("x",))])
+        skolems = SkolemRegistry()
+        spec = CElem(
+            "doc",
+            [
+                CElem("target", [], skolem=("obj", [Var("k")])),
+                CRef("link", "obj", [Var("k")]),
+            ],
+        )
+        tree = construct(tab, spec, skolems)
+        target, link = tree.children
+        assert link.is_reference
+        assert link.ref_target == target.ident
+
+    def test_group_on_empty_tab_yields_nothing(self):
+        tab = Tab(("a",), [])
+        tree = construct(tab, CElem("doc", [CGroup([Var("a")], CElem("g"))]))
+        assert tree.children == ()
+
+    def test_root_must_be_element(self, works_tab):
+        with pytest.raises(AlgebraError):
+            construct(works_tab, CValue(Var("t")))
+
+    def test_constructor_variables_listing(self):
+        spec = CElem(
+            "doc",
+            [CGroup([Var("a")], CElem("g", [CLeaf("t", Var("t"))]))],
+        )
+        assert spec.variables() == ("a", "t")

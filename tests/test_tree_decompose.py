@@ -1,0 +1,179 @@
+"""Tests for Tree decomposition into Group/Sort (paper, Section 5.2)."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra.evaluator import Environment, evaluate
+from repro.core.algebra.expressions import Const, Var
+from repro.core.algebra.operators import (
+    GroupOp,
+    LiteralOp,
+    SortOp,
+    TreeOp,
+)
+from repro.core.algebra.tab import Row, Tab
+from repro.core.algebra.tree import (
+    CElem,
+    CGroup,
+    CIterate,
+    CLeaf,
+    CNest,
+    construct,
+)
+from repro.core.optimizer.rules import OptimizerContext
+from repro.core.optimizer.tree_decompose import (
+    TreeDecompositionRule,
+    decompose_tree,
+)
+
+
+def tab_of(rows):
+    columns = ("a", "t")
+    return Tab(columns, [Row(columns, cells) for cells in rows])
+
+
+def grouped_constructor(order_by=None, descending=False):
+    iterate = CIterate(
+        CLeaf("title", Var("t")),
+        order_by=[Var("t")] if order_by else (),
+        descending=descending,
+    )
+    return CElem(
+        "result",
+        [
+            CGroup(
+                [Var("a")],
+                CElem(
+                    "artist",
+                    [CLeaf("name", Var("a")), iterate],
+                    skolem=("artist", [Var("a")]),
+                ),
+            )
+        ],
+    )
+
+
+def run(plan):
+    return evaluate(plan, Environment({})).rows[0]["doc"]
+
+
+class TestDecomposition:
+    def test_produces_group_operator(self):
+        tree = TreeOp(LiteralOp(tab_of([("m", "x")])), grouped_constructor(), "doc")
+        decomposed = decompose_tree(tree, OptimizerContext())
+        assert decomposed is not None
+        assert isinstance(decomposed.input, GroupOp)
+        assert decomposed.input.by == ("a",)
+
+    def test_equivalent_documents(self):
+        rows = [("m", "x"), ("m", "b"), ("n", "z"), ("m", "b")]
+        tree = TreeOp(LiteralOp(tab_of(rows)), grouped_constructor(), "doc")
+        decomposed = decompose_tree(tree, OptimizerContext())
+        assert run(tree) == run(decomposed)
+
+    def test_sort_hoisted(self):
+        rows = [("m", "z"), ("m", "a")]
+        tree = TreeOp(
+            LiteralOp(tab_of(rows)), grouped_constructor(order_by=True), "doc"
+        )
+        decomposed = decompose_tree(tree, OptimizerContext())
+        assert isinstance(decomposed.input.input, SortOp)
+        assert run(tree) == run(decomposed)
+
+    def test_descending_sort_hoisted(self):
+        rows = [("m", "a"), ("m", "z")]
+        tree = TreeOp(
+            LiteralOp(tab_of(rows)),
+            grouped_constructor(order_by=True, descending=True),
+            "doc",
+        )
+        decomposed = decompose_tree(tree, OptimizerContext())
+        assert decomposed.input.input.descending
+        assert run(tree) == run(decomposed)
+
+    def test_view_constructor_decomposes(self):
+        """The paper's own view constructor is in scope for the rewrite."""
+        from repro.datasets import VIEW1_YAT
+        from repro.yatl import parse_program, translate_rule
+
+        program = parse_program(VIEW1_YAT)
+        plan = translate_rule(
+            program.rules[0],
+            lambda d: {"artifacts": "o2", "artworks": "wais"}[d],
+        )
+        decomposed = TreeDecompositionRule().apply(plan, OptimizerContext())
+        assert decomposed is not None
+        assert isinstance(decomposed.input, GroupOp)
+        assert set(decomposed.input.by) == {"t", "c"}
+
+    def test_view_decomposition_same_answers(self, figure1_mediator):
+        """Decomposed view evaluates to the same document."""
+        view_plan = figure1_mediator.views.plan("artworks")
+        decomposed = TreeDecompositionRule().apply(
+            view_plan, OptimizerContext()
+        )
+        assert decomposed is not None
+        original = figure1_mediator.execute(view_plan).document()
+        rewritten = figure1_mediator.execute(decomposed).document()
+        assert original == rewritten
+
+    def test_declines_non_var_grouping(self):
+        ctor = CElem("result", [CGroup([Const("x")], CElem("g"))])
+        tree = TreeOp(LiteralOp(tab_of([("m", "x")])), ctor, "doc")
+        assert decompose_tree(tree, OptimizerContext()) is None
+
+    def test_declines_sibling_reading_rows(self):
+        ctor = CElem(
+            "result",
+            [CLeaf("first", Var("t")), CGroup([Var("a")], CElem("g"))],
+        )
+        tree = TreeOp(LiteralOp(tab_of([("m", "x")])), ctor, "doc")
+        assert decompose_tree(tree, OptimizerContext()) is None
+
+    def test_declines_multiple_groups(self):
+        ctor = CElem(
+            "result",
+            [CGroup([Var("a")], CElem("g")), CGroup([Var("t")], CElem("h"))],
+        )
+        tree = TreeOp(LiteralOp(tab_of([("m", "x")])), ctor, "doc")
+        assert decompose_tree(tree, OptimizerContext()) is None
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("mnp"), st.text("abc", max_size=2)),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_on_random_tabs(self, rows):
+        tree = TreeOp(LiteralOp(tab_of(rows)), grouped_constructor(), "doc")
+        decomposed = decompose_tree(tree, OptimizerContext())
+        assert run(tree) == run(decomposed)
+
+
+class TestCNest:
+    def test_merges_parent_columns(self):
+        columns = ("a", "rows")
+        nested = (Row(("t",), ("x",)), Row(("t",), ("y",)))
+        tab = Tab(columns, [Row(columns, ("m", nested))])
+        ctor = CElem(
+            "doc",
+            [CIterate(CNest("rows", CElem("pair", [
+                CLeaf("artist", Var("a")), CLeaf("title", Var("t"))
+            ])), distinct=False)],
+        )
+        tree = construct(tab, ctor)
+        pair = tree.children[0]
+        assert pair.child("artist").atom == "m"
+        assert pair.child("title").atom == "x"
+
+    def test_non_rows_column_rejected(self):
+        from repro.errors import AlgebraError
+
+        columns = ("a", "rows")
+        tab = Tab(columns, [Row(columns, ("m", "not-rows"))])
+        ctor = CElem("doc", [CNest("rows", CLeaf("t", Var("a")))])
+        with pytest.raises(AlgebraError):
+            construct(tab, ctor)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.model.trees."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.trees import (
+    DataNode,
+    atom_leaf,
+    build_ident_index,
+    collection_node,
+    elem,
+    ref,
+    resolve_reference,
+)
+
+
+@pytest.fixture
+def work():
+    return elem(
+        "work",
+        atom_leaf("artist", "Claude Monet"),
+        atom_leaf("title", "Nympheas"),
+        elem("history", atom_leaf("technique", "Oil on canvas")),
+    )
+
+
+class TestConstruction:
+    def test_atom_and_children_exclusive(self):
+        with pytest.raises(ModelError):
+            DataNode("bad", children=[atom_leaf("x", 1)], atom=2)
+
+    def test_reference_carries_no_content(self):
+        with pytest.raises(ModelError):
+            DataNode("bad", children=[atom_leaf("x", 1)], ref_target="p1")
+
+    def test_atom_must_be_atomic(self):
+        with pytest.raises(ModelError):
+            DataNode("bad", atom=[1, 2])
+
+    def test_classification(self, work):
+        assert work.is_element
+        assert work.children[0].is_atom_leaf
+        assert ref("class", "p1").is_reference
+
+
+class TestNavigation:
+    def test_child_by_label(self, work):
+        assert work.child("title").atom == "Nympheas"
+        assert work.child("missing") is None
+
+    def test_children_with_label(self):
+        node = elem("w", atom_leaf("t", 1), atom_leaf("t", 2), atom_leaf("u", 3))
+        assert [c.atom for c in node.children_with_label("t")] == [1, 2]
+
+    def test_descendants_preorder(self, work):
+        labels = [node.label for node in work.descendants()]
+        assert labels == ["work", "artist", "title", "history", "technique"]
+
+    def test_find(self, work):
+        found = work.find(lambda n: n.is_atom_leaf and n.atom == "Oil on canvas")
+        assert found.label == "technique"
+
+    def test_find_all(self, work):
+        assert len(work.find_all("technique")) == 1
+
+    def test_text_concatenates_atoms(self, work):
+        assert "Nympheas" in work.text()
+        assert "Oil on canvas" in work.text()
+
+    def test_size_and_depth(self, work):
+        assert work.size() == 5
+        assert work.depth() == 3
+        assert atom_leaf("x", 1).depth() == 1
+
+
+class TestEquality:
+    def test_value_equality_ignores_ident(self, work):
+        assert work == work.with_ident("d1")
+        assert hash(work) == hash(work.with_ident("d1"))
+
+    def test_order_matters_for_plain_elements(self):
+        a = elem("w", atom_leaf("x", 1), atom_leaf("y", 2))
+        b = elem("w", atom_leaf("y", 2), atom_leaf("x", 1))
+        assert a != b
+
+    def test_order_ignored_under_set_collection(self):
+        a = collection_node("set", "s", [atom_leaf("x", 1), atom_leaf("y", 2)])
+        b = collection_node("set", "s", [atom_leaf("y", 2), atom_leaf("x", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_atom_type_distinguished(self):
+        # 1 and True are == in Python; YAT trees keep them apart.
+        assert atom_leaf("x", 1) != atom_leaf("x", True)
+
+
+class TestReferences:
+    def test_resolve_through_index(self):
+        target = elem("class", atom_leaf("name", "X"), ident="p1")
+        index = {"p1": target}
+        assert resolve_reference(ref("class", "p1"), index) is target
+
+    def test_dangling_reference_raises(self):
+        with pytest.raises(ModelError):
+            resolve_reference(ref("class", "nope"), {})
+
+    def test_non_reference_passthrough(self, work):
+        assert resolve_reference(work, {}) is work
+
+    def test_build_ident_index(self):
+        inner = elem("part", ident="q7")
+        root = elem("doc", inner, ident="d1")
+        index = build_ident_index([root])
+        assert set(index) == {"d1", "q7"}
+        assert index["q7"] is inner
+
+
+class TestCopies:
+    def test_with_children_preserves_metadata(self):
+        node = collection_node("list", "owners", [ref("class", "p1")], ident="o1")
+        copy = node.with_children([ref("class", "p2")])
+        assert copy.ident == "o1"
+        assert copy.collection == "list"
+        assert copy.children[0].ref_target == "p2"
+
+    def test_pretty_renders_all_kinds(self, work):
+        text = elem("d", work, ref("class", "p1")).pretty()
+        assert "work" in text
+        assert "&p1" in text

@@ -1,0 +1,83 @@
+"""Unit tests for repro.model.values."""
+
+import pytest
+
+from repro.model.values import (
+    atom_type_name,
+    coerce_atom,
+    is_atom,
+    parse_atom,
+)
+
+
+class TestIsAtom:
+    def test_accepts_each_atom_type(self):
+        for value in (1, 1.5, "x", True, False, 0, ""):
+            assert is_atom(value)
+
+    def test_rejects_non_atoms(self):
+        for value in (None, [], {}, object(), (1, 2)):
+            assert not is_atom(value)
+
+
+class TestAtomTypeName:
+    def test_bool_wins_over_int(self):
+        # bool is a subclass of int in Python; YAT keeps them distinct.
+        assert atom_type_name(True) == "Bool"
+        assert atom_type_name(1) == "Int"
+
+    def test_each_type(self):
+        assert atom_type_name(3.5) == "Float"
+        assert atom_type_name("hello") == "String"
+
+    def test_rejects_non_atom(self):
+        with pytest.raises(TypeError):
+            atom_type_name(None)
+
+
+class TestParseAtom:
+    def test_int(self):
+        assert parse_atom("Int", "42") == 42
+
+    def test_float(self):
+        assert parse_atom("Float", "1.5") == 1.5
+
+    def test_string_preserved_verbatim(self):
+        assert parse_atom("String", "  spaced  ") == "  spaced  "
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("true", True), ("false", False), ("1", True), ("0", False)],
+    )
+    def test_bool_forms(self, text, expected):
+        assert parse_atom("Bool", text) is expected
+
+    def test_bad_bool(self):
+        with pytest.raises(ValueError):
+            parse_atom("Bool", "maybe")
+
+    def test_bad_int(self):
+        with pytest.raises(ValueError):
+            parse_atom("Int", "3.5")
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            parse_atom("Decimal", "1")
+
+
+class TestCoerceAtom:
+    def test_int_preferred(self):
+        assert coerce_atom("1897") == 1897
+
+    def test_float(self):
+        assert coerce_atom("29.2") == 29.2
+
+    def test_bool(self):
+        assert coerce_atom("True") is True
+        assert coerce_atom("false") is False
+
+    def test_string_fallback(self):
+        assert coerce_atom("21 x 61") == "21 x 61"
+
+    def test_whitespace_stays_string(self):
+        assert coerce_atom("   ") == "   "

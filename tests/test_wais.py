@@ -1,0 +1,171 @@
+"""Unit tests for the Wais full-text source (index, queries, store)."""
+
+import pytest
+
+from repro.errors import WaisError
+from repro.model.trees import atom_leaf, elem
+from repro.sources.wais import (
+    ANY_FIELD,
+    InvertedIndex,
+    WaisQuery,
+    WaisStore,
+    WaisTerm,
+    document_contains,
+    parse_wais_query,
+    tokenize,
+)
+
+
+def work(artist, title, style, **extra):
+    children = [
+        atom_leaf("artist", artist),
+        atom_leaf("title", title),
+        atom_leaf("style", style),
+        atom_leaf("size", "10 x 10"),
+    ]
+    for label, value in extra.items():
+        children.append(atom_leaf(label, value))
+    return elem("work", *children)
+
+
+@pytest.fixture
+def store():
+    s = WaisStore()
+    s.add(work("Claude Monet", "Nympheas", "Impressionist", cplace="Giverny"))
+    s.add(work("Claude Monet", "Waterloo Bridge", "Impressionist"))
+    s.add(work("Edouard Manet", "Olympia", "Realist"))
+    return s
+
+
+class TestTokenize:
+    def test_lowercase_words(self):
+        assert tokenize("Oil on Canvas, 1897!") == ("oil", "on", "canvas", "1897")
+
+    def test_empty(self):
+        assert tokenize("...") == ()
+
+
+class TestInvertedIndex:
+    def test_field_scoped_lookup(self):
+        index = InvertedIndex()
+        index.add_document("d1", work("Monet", "Nympheas", "Impressionist"))
+        assert index.lookup("monet", "artist") == {"d1"}
+        assert index.lookup("monet", "title") == set()
+
+    def test_any_field(self):
+        index = InvertedIndex()
+        index.add_document("d1", work("Monet", "Nympheas", "Impressionist"))
+        assert index.lookup("nympheas") == {"d1"}
+
+    def test_conjunctive_words(self):
+        index = InvertedIndex()
+        index.add_document("d1", work("Claude Monet", "Nympheas", "Impressionist"))
+        assert index.lookup("claude monet") == {"d1"}
+        assert index.lookup("claude picasso") == set()
+
+    def test_empty_query_matches_all(self):
+        index = InvertedIndex()
+        index.add_document("d1", work("A", "B", "C"))
+        index.add_document("d2", work("D", "E", "F"))
+        assert index.lookup("") == {"d1", "d2"}
+
+    def test_vocabulary(self):
+        index = InvertedIndex()
+        index.add_document("d1", work("Monet", "Nympheas", "Impressionist"))
+        assert "monet" in index.vocabulary()
+        assert "monet" in index.vocabulary("artist")
+
+    def test_index_agrees_with_reference_contains(self, store):
+        for doc_id in store.document_ids():
+            doc = store.fetch(doc_id)
+            for query in ("giverny", "impressionist", "monet bridge"):
+                indexed = doc_id in store.search(WaisQuery([WaisTerm(query)]))
+                assert indexed == document_contains(doc, query)
+
+
+class TestWaisQuery:
+    def test_render(self):
+        query = WaisQuery([WaisTerm("monet", field="artist"), WaisTerm("x")])
+        assert query.render() == "artist=(monet) and any=(x)"
+
+    def test_empty_renders_star(self):
+        assert WaisQuery().render() == "*"
+
+    def test_parse_round_trip(self):
+        text = "artist=(claude monet) and any=(impressionist)"
+        assert parse_wais_query(text).render() == text
+
+    def test_parse_star(self):
+        assert parse_wais_query("*") == WaisQuery()
+
+    def test_parse_malformed(self):
+        with pytest.raises(WaisError):
+            parse_wais_query("artist=monet")
+
+
+class TestWaisStore:
+    def test_search_any(self, store):
+        assert store.search(WaisQuery([WaisTerm("giverny")])) == ("d1",)
+
+    def test_search_field(self, store):
+        hits = store.search(WaisQuery([WaisTerm("impressionist", field="style")]))
+        assert hits == ("d1", "d2")
+
+    def test_search_conjunction_of_terms(self, store):
+        hits = store.search(
+            WaisQuery([WaisTerm("monet", field="artist"), WaisTerm("giverny")])
+        )
+        assert hits == ("d1",)
+
+    def test_empty_query_returns_all_in_order(self, store):
+        assert store.search(WaisQuery()) == ("d1", "d2", "d3")
+
+    def test_fetch_unknown(self, store):
+        with pytest.raises(WaisError):
+            store.fetch("ghost")
+
+    def test_duplicate_id_rejected(self, store):
+        with pytest.raises(WaisError):
+            store.add(work("A", "B", "C"), doc_id="d1")
+
+    def test_collection_tree(self, store):
+        tree = store.collection_tree()
+        assert tree.label == "works"
+        assert len(tree.children) == 3
+
+    def test_collection_tree_filtered(self, store):
+        tree = store.collection_tree(WaisQuery([WaisTerm("giverny")]))
+        assert len(tree.children) == 1
+
+    def test_element_labels(self, store):
+        labels = store.element_labels()
+        assert "cplace" in labels and "work" in labels
+
+
+class TestZ3950Split:
+    """The queryable/retrievable separation of Section 4.2."""
+
+    def test_unqueryable_field_rejected(self):
+        store = WaisStore(queryable_fields=("cplace",))
+        store.add(work("Monet", "Nympheas", "Impressionist", cplace="Giverny"))
+        with pytest.raises(WaisError):
+            store.search(WaisQuery([WaisTerm("monet", field="artist")]))
+        # the declared field and the any pseudo-field still work
+        assert store.search(WaisQuery([WaisTerm("giverny", field="cplace")]))
+        assert store.search(WaisQuery([WaisTerm("monet")]))
+
+    def test_retrievable_fields_pruned(self):
+        store = WaisStore(retrievable_fields=("artist", "style"))
+        store.add(work("Monet", "Nympheas", "Impressionist", cplace="Giverny"))
+        fetched = store.fetch("d1")
+        labels = [c.label for c in fetched.children]
+        assert labels == ["artist", "style"]
+
+    def test_query_on_unretrievable_field_still_finds(self):
+        # "allowing queries only on the optional fields" while retrieving
+        # others: you can find by cplace without being able to see it.
+        store = WaisStore(retrievable_fields=("artist",))
+        store.add(work("Monet", "Nympheas", "Impressionist", cplace="Giverny"))
+        hits = store.search(WaisQuery([WaisTerm("giverny", field="cplace")]))
+        assert hits == ("d1",)
+        assert store.fetch("d1").child("cplace") is None

@@ -1,0 +1,109 @@
+"""Unit tests for the XML wire format of trees and patterns."""
+
+import pytest
+
+from repro.errors import XmlFormatError
+from repro.model.patterns import (
+    PAny,
+    PAtomic,
+    PConstLeaf,
+    PNode,
+    PRef,
+    PStar,
+    PUnion,
+)
+from repro.model.trees import atom_leaf, collection_node, elem, ref
+from repro.model.xml_io import (
+    pattern_to_xml,
+    serialized_size,
+    tree_to_xml,
+    xml_to_pattern,
+    xml_to_tree,
+)
+
+
+@pytest.fixture
+def work():
+    return elem(
+        "work",
+        atom_leaf("artist", "Claude Monet"),
+        atom_leaf("year", 1897),
+        atom_leaf("price", 2.5),
+        atom_leaf("sold", True),
+        collection_node("list", "owners", [ref("class", "p1")]),
+        ident="a1",
+    )
+
+
+class TestTreeRoundTrip:
+    def test_round_trip_preserves_value(self, work):
+        assert xml_to_tree(tree_to_xml(work)) == work
+
+    def test_round_trip_preserves_ident(self, work):
+        parsed = xml_to_tree(tree_to_xml(work))
+        assert parsed.ident == "a1"
+
+    def test_round_trip_preserves_collection_kind(self, work):
+        parsed = xml_to_tree(tree_to_xml(work))
+        assert parsed.child("owners").collection == "list"
+
+    def test_round_trip_preserves_atom_types(self, work):
+        parsed = xml_to_tree(tree_to_xml(work))
+        assert parsed.child("year").atom == 1897
+        assert parsed.child("price").atom == 2.5
+        assert parsed.child("sold").atom is True
+        assert parsed.child("artist").atom == "Claude Monet"
+
+    def test_reference_round_trip(self, work):
+        parsed = xml_to_tree(tree_to_xml(work))
+        owners = parsed.child("owners")
+        assert owners.children[0].ref_target == "p1"
+
+    def test_untyped_text_becomes_string_atom(self):
+        parsed = xml_to_tree("<title>Nympheas</title>")
+        assert parsed.atom == "Nympheas"
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(XmlFormatError):
+            xml_to_tree("<broken")
+
+    def test_bad_typed_atom_raises(self):
+        with pytest.raises(XmlFormatError):
+            xml_to_tree('<year type="Int">not a number</year>')
+
+    def test_serialized_size_is_positive_bytes(self, work):
+        size = serialized_size(work)
+        assert size == len(tree_to_xml(work).encode("utf-8"))
+        assert size > 50
+
+
+class TestPatternRoundTrip:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            PAny(),
+            PAtomic("Int"),
+            PConstLeaf("Giverny"),
+            PConstLeaf(42),
+            PRef("Fclass"),
+            PStar(PAtomic("String")),
+            PUnion([PAtomic("Int"), PAtomic("Bool")]),
+            PNode("tuple", [PStar(PNode("Symbol", [PAtomic("Int")]))],
+                  collection="set"),
+        ],
+        ids=lambda p: type(p).__name__ + str(hash(p) % 100),
+    )
+    def test_round_trip(self, pattern):
+        assert xml_to_pattern(pattern_to_xml(pattern)) == pattern
+
+    def test_missing_label_rejected(self):
+        with pytest.raises(XmlFormatError):
+            xml_to_pattern("<leaf/>")
+
+    def test_star_arity_enforced(self):
+        with pytest.raises(XmlFormatError):
+            xml_to_pattern('<star><leaf label="Int"/><leaf label="Int"/></star>')
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(XmlFormatError):
+            xml_to_pattern("<mystery/>")
