@@ -1,0 +1,126 @@
+"""R1: happy-path overhead of the resilience policy wrapper.
+
+The resilience layer (retry/backoff, circuit breakers, deadlines) guards
+every source call; its cost must vanish when nothing fails.  Three
+configurations over the same Q1-union plan:
+
+* ``none``    — ``run_plan`` without a policy (the seed behavior);
+* ``direct``  — the explicit no-op ``ResiliencePolicy.direct()``;
+* ``default`` — full retry + breaker + deadline machinery, zero faults.
+
+The claim to hold: ``default`` stays within a few percent of ``none``.
+"""
+
+import time
+
+from repro import O2Wrapper, ResiliencePolicy, WaisWrapper
+from repro.datasets import CulturalDataset
+from repro.mediator.execution import run_plan
+from repro.core.algebra.expressions import Cmp, Const, Var
+from repro.core.algebra.operators import (
+    BindOp,
+    ProjectOp,
+    SelectOp,
+    SourceOp,
+    UnionOp,
+)
+from repro.model.filters import FStar, FVar, felem
+
+import pytest
+
+SIZES = {"small": 25, "medium": 100}
+
+
+def q1_union_plan():
+    """Q1 as a two-source union: Giverny works + the O2 title catalogue."""
+    wais_branch = ProjectOp(
+        SelectOp(
+            BindOp(
+                SourceOp("xmlartwork", "artworks"),
+                felem("works", FStar(felem("work", felem("title", FVar("t")),
+                                           felem("cplace", FVar("cl"))))),
+                on="artworks",
+            ),
+            Cmp("=", Var("cl"), Const("Giverny")),
+        ),
+        [("t", "t")],
+    )
+    o2_branch = ProjectOp(
+        BindOp(
+            SourceOp("o2artifact", "artifacts"),
+            felem("set", FStar(felem("class", felem("artifact", felem("tuple",
+                  felem("title", FVar("t"))))))),
+            on="artifacts",
+        ),
+        [("t", "t")],
+    )
+    return UnionOp(wais_branch, o2_branch)
+
+
+def build_adapters(n_artifacts, seed=1):
+    database, store = CulturalDataset(n_artifacts=n_artifacts, seed=seed).build()
+    return {
+        "o2artifact": O2Wrapper("o2artifact", database),
+        "xmlartwork": WaisWrapper("xmlartwork", store),
+    }
+
+
+POLICIES = {
+    "none": None,
+    "direct": ResiliencePolicy.direct(),
+    "default": ResiliencePolicy.default(query_deadline=60.0),
+}
+
+
+def overhead_rows(sizes=(25, 100), repeats=10):
+    """``(n, {policy: best seconds}, overhead_pct)`` rows for the report."""
+    plan = q1_union_plan()
+    rows = []
+    for n in sizes:
+        adapters = build_adapters(n)
+        timings = {}
+        for label, policy in POLICIES.items():
+            best = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                report = run_plan(plan, adapters, policy=policy)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            assert not report.degraded and report.stats.total_failures == 0
+            timings[label] = best
+        overhead = 100.0 * (timings["default"] / timings["none"] - 1.0)
+        rows.append((n, timings, overhead))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.parametrize("policy_label", list(POLICIES))
+def test_policy_overhead(benchmark, size, policy_label):
+    adapters = build_adapters(SIZES[size])
+    plan = q1_union_plan()
+    policy = POLICIES[policy_label]
+    report = benchmark(run_plan, plan, adapters, policy=policy)
+    assert not report.degraded
+    benchmark.extra_info.update(
+        n_artifacts=SIZES[size],
+        policy=policy_label,
+        rows=len(report.tab),
+    )
+
+
+def main():
+    print("resilience policy overhead (happy path, Q1 union plan)")
+    print(f"{'n':>5} {'none ms':>9} {'direct ms':>10} {'default ms':>11} "
+          f"{'overhead':>9}")
+    for n, timings, overhead in overhead_rows():
+        print(f"{n:5d} {timings['none'] * 1e3:9.2f} "
+              f"{timings['direct'] * 1e3:10.2f} "
+              f"{timings['default'] * 1e3:11.2f} {overhead:8.1f}%")
+
+
+if __name__ == "__main__":
+    main()

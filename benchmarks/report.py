@@ -11,8 +11,11 @@ Run:  python benchmarks/report.py [--quick]
 
 from __future__ import annotations
 
+import os
+import subprocess
 import sys
 import time
+from pathlib import Path
 
 from repro import Mediator, O2Wrapper, SqlWrapper, WaisWrapper
 from repro.core.algebra.operators import DJoinOp
@@ -255,6 +258,42 @@ def report_equivalences():
         print(f"{label:40s} {elapsed * 1e3:8.1f} {len(tab):6d}")
 
 
+def report_resilience():
+    banner("R1 — resilience: policy overhead (happy path) + fault-injection tests")
+    try:
+        from benchmarks.bench_resilience_overhead import overhead_rows
+    except ImportError:
+        from bench_resilience_overhead import overhead_rows
+
+    print(f"{'n':>5} {'none ms':>9} {'direct ms':>10} {'default ms':>11} "
+          f"{'overhead':>9}")
+    sizes = (25,) if QUICK else (25, 100)
+    for n, timings, overhead in overhead_rows(sizes=sizes,
+                                              repeats=3 if QUICK else 10):
+        print(f"{n:5d} {timings['none'] * 1e3:9.2f} "
+              f"{timings['direct'] * 1e3:10.2f} "
+              f"{timings['default'] * 1e3:11.2f} {overhead:8.1f}%")
+
+    # The fault-injection and resilience suites gate the perf trajectory:
+    # a policy that got fast by dropping semantics fails here.
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q",
+         "tests/test_resilience.py", "tests/test_faults.py"],
+        cwd=root, env=env, capture_output=True, text=True,
+    )
+    tail = (completed.stdout or completed.stderr).strip().splitlines()
+    print("pytest -q tests/test_resilience.py tests/test_faults.py:")
+    for line in tail[-3:]:
+        print(f"  {line}")
+    if completed.returncode != 0:
+        raise SystemExit("resilience test suite failed")
+
+
 def main():
     print("YAT reproduction — experiment report"
           + (" (quick mode)" if QUICK else ""))
@@ -264,6 +303,7 @@ def main():
     report_crossover()
     report_sql_vs_oql()
     report_equivalences()
+    report_resilience()
     print("\nall cross-checks passed (every optimized answer matched naive).")
 
 

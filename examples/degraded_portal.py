@@ -1,0 +1,120 @@
+"""The cultural portal with a dead source: answering partially.
+
+The paper's mediator assumes every wrapped source answers every request;
+a portal serving real traffic cannot.  This example serves the paper's
+Q1 ("artifacts created at Giverny") from a Union plan with a fallback
+branch — the descriptive Wais source answers the question proper, and
+the O2 trading source contributes its title catalogue so the portal
+still says *something* when the descriptive source is down:
+
+* healthy run — the union of both branches;
+* Wais permanently down, fail-fast policy — the whole query dies;
+* Wais down, degradation-enabled policy — retries, the circuit opens,
+  the Wais branch is dropped, and the portal returns the surviving
+  O2 rows with ``degraded=True`` and per-source outcome records.
+
+Run:  python examples/degraded_portal.py [n_artifacts]
+"""
+
+import sys
+
+from repro import Mediator, O2Wrapper, ResiliencePolicy, WaisWrapper
+from repro.datasets import CulturalDataset
+from repro.errors import SourceError
+from repro.testing import FaultSchedule, FaultyWrapper, VirtualClock
+from repro.core.algebra.expressions import Cmp, Const, Var
+from repro.core.algebra.operators import (
+    BindOp,
+    ProjectOp,
+    SelectOp,
+    SourceOp,
+    UnionOp,
+)
+from repro.model.filters import FStar, FVar, felem
+
+
+def q1_union_plan():
+    """Q1 with a fallback: Giverny works UNION the O2 title catalogue."""
+    wais_branch = ProjectOp(
+        SelectOp(
+            BindOp(
+                SourceOp("xmlartwork", "artworks"),
+                felem("works", FStar(felem("work", felem("title", FVar("t")),
+                                           felem("cplace", FVar("cl"))))),
+                on="artworks",
+            ),
+            Cmp("=", Var("cl"), Const("Giverny")),
+        ),
+        [("t", "t")],
+    )
+    o2_branch = ProjectOp(
+        BindOp(
+            SourceOp("o2artifact", "artifacts"),
+            felem("set", FStar(felem("class", felem("artifact", felem("tuple",
+                  felem("title", FVar("t"))))))),
+            on="artifacts",
+        ),
+        [("t", "t")],
+    )
+    return UnionOp(wais_branch, o2_branch)
+
+
+def build_portal(database, store, schedule=None, clock=None):
+    mediator = Mediator("portal")
+    mediator.connect(O2Wrapper("o2artifact", database))
+    wais = WaisWrapper("xmlartwork", store)
+    if schedule is not None:
+        wais = FaultyWrapper(wais, schedule,
+                             sleep=clock.sleep if clock else None)
+    mediator.connect(wais)
+    return mediator
+
+
+def main() -> None:
+    n_artifacts = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    database, store = CulturalDataset(n_artifacts=n_artifacts, seed=42).build()
+    plan = q1_union_plan()
+
+    print("1. every source healthy")
+    healthy = build_portal(database, store).execute(plan)
+    print(f"   rows={len(healthy.tab)}  degraded={healthy.degraded}")
+
+    print("\n2. Wais down, fail-fast (the seed behavior)")
+    clock = VirtualClock()
+    portal = build_portal(database, store, FaultSchedule().dead_source(), clock)
+    try:
+        portal.execute(plan)
+    except SourceError as error:
+        print(f"   query died: {error}")
+
+    print("\n3. Wais down, degradation-enabled policy")
+    clock = VirtualClock()
+    policy = ResiliencePolicy.default(
+        allow_partial_results=True,
+        query_deadline=30.0,
+        clock=clock.time,
+        sleep=clock.sleep,
+    )
+    portal = build_portal(database, store, FaultSchedule().dead_source(), clock)
+    report = portal.execute(plan, policy=policy)
+    print(f"   rows={len(report.tab)}  degraded={report.degraded}")
+    print(f"   dropped: {dict(report.stats.dropped_sources)}")
+    for outcome in report.outcomes:
+        print(f"   {outcome!r}")
+    titles = sorted(str(row['t'].atom if hasattr(row['t'], 'atom') else row['t'])
+                    for row in report.tab)[:5]
+    print(f"   sample surviving titles: {titles}")
+
+    print("\n4. Wais flaky (recovers after 2 failures), retrying policy")
+    clock = VirtualClock()
+    policy = ResiliencePolicy.default(clock=clock.time, sleep=clock.sleep)
+    portal = build_portal(database, store,
+                          FaultSchedule().fail("document", times=2), clock)
+    report = portal.execute(plan, policy=policy)
+    identical = report.tab == healthy.tab
+    print(f"   rows={len(report.tab)}  retries={dict(report.stats.retries)}  "
+          f"identical to healthy run: {identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,7 +24,7 @@ Quickstart::
 
 from repro.core.algebra import evaluate
 from repro.core.optimizer import Optimizer, OptimizerContext, optimize
-from repro.mediator import Mediator, QueryResult
+from repro.mediator import Mediator, QueryResult, ResiliencePolicy, RetryPolicy
 from repro.wrappers import O2Wrapper, SqlWrapper, WaisWrapper
 from repro.yatl import parse_program, parse_query
 
@@ -36,6 +36,8 @@ __all__ = [
     "Optimizer",
     "OptimizerContext",
     "QueryResult",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "SqlWrapper",
     "WaisWrapper",
     "evaluate",

@@ -19,7 +19,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import EvaluationError, UnknownDocumentError, UnknownSourceError
+from repro.errors import (
+    EvaluationError,
+    PartialResultError,
+    SourceUnavailableError,
+    UnknownDocumentError,
+    UnknownSourceError,
+)
 from repro.core.algebra.bind import FilterMatcher
 from repro.core.algebra.operators import (
     BindOp,
@@ -85,11 +91,16 @@ class Environment:
         functions: Optional[Dict[str, Callable]] = None,
         stats: Optional[ExecutionStats] = None,
         skolems: Optional[SkolemRegistry] = None,
+        resilience=None,
     ) -> None:
         self.sources = dict(sources)
         self.functions = dict(functions or {})
         self.stats = stats if stats is not None else ExecutionStats()
         self.skolems = skolems if skolems is not None else SkolemRegistry()
+        #: Optional :class:`~repro.mediator.resilience.PolicyRuntime`;
+        #: when set and permitting partial results, Union branches and
+        #: ident indexes of unavailable sources degrade instead of failing.
+        self.resilience = resilience
         self._ident_index: Optional[Dict[str, DataNode]] = None
 
     def source(self, name: str) -> SourceAdapter:
@@ -99,11 +110,24 @@ class Environment:
             raise UnknownSourceError(f"source {name!r} is not connected") from None
 
     def ident_index(self) -> Dict[str, DataNode]:
-        """Merged identifier index across all connected sources (cached)."""
+        """Merged identifier index across all connected sources (cached).
+
+        Under a degradation-enabled resilience policy, a source whose
+        index is unavailable is skipped (its references simply stop
+        dereferencing) and recorded as dropped; otherwise the error
+        propagates as before.
+        """
         if self._ident_index is None:
             merged: Dict[str, DataNode] = {}
-            for adapter in self.sources.values():
-                merged.update(adapter.ident_index())
+            for name, adapter in self.sources.items():
+                try:
+                    merged.update(adapter.ident_index())
+                except SourceUnavailableError as error:
+                    if self.resilience is None or not self.resilience.allow_partial:
+                        raise
+                    self.resilience.record_dropped(
+                        name, f"ident index unavailable: {error}"
+                    )
             self._ident_index = merged
         return self._ident_index
 
@@ -486,13 +510,53 @@ def _eval_djoin(plan: DJoinOp, env: Environment, outer: Optional[Row]) -> Tab:
 
 
 def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
-    left = _evaluate(plan.left, env, outer)
-    right = _evaluate(plan.right, env, outer)
+    """Union of two branches, optionally degrading on source failure.
+
+    When the environment carries a resilience runtime that allows partial
+    results, a branch whose sources are unavailable (retries exhausted or
+    circuit open) is *dropped*: its sources and the failure cause are
+    recorded on the stats, the answer is marked degraded, and the
+    surviving branch is returned.  With both branches down there is no
+    partial answer, so :class:`PartialResultError` is raised.
+    """
+    branches: List[Optional[Tab]] = []
+    last_error: Optional[SourceUnavailableError] = None
+    for branch in (plan.left, plan.right):
+        try:
+            branches.append(_evaluate(branch, env, outer))
+        except SourceUnavailableError as error:
+            if env.resilience is None or not env.resilience.allow_partial:
+                raise
+            involved = ", ".join(sorted(_branch_sources(branch))) or "?"
+            failed = error.source or involved
+            env.resilience.record_dropped(
+                failed, f"union branch over [{involved}] dropped: {error}"
+            )
+            last_error = error
+            branches.append(None)
+    left, right = branches
+    if left is None and right is None:
+        raise PartialResultError(
+            "every Union branch failed; no partial result to return"
+        ) from last_error
+    if left is None or right is None:
+        combined = (left if right is None else right).distinct()
+        env.stats.record_operator("Union", len(combined))
+        return combined
     if left.columns != right.columns:
         right = right.project(left.columns)
     combined = Tab(left.columns, tuple(left.rows) + tuple(right.rows)).distinct()
     env.stats.record_operator("Union", len(combined))
     return combined
+
+
+def _branch_sources(plan: Plan) -> set:
+    """Names of the sources a plan branch reads (Source and Pushed leaves)."""
+    return {
+        node.source
+        for node in plan.walk()
+        if isinstance(node, (SourceOp, PushedOp))
+    }
 
 def _eval_intersect(plan: IntersectOp, env: Environment, outer: Optional[Row]) -> Tab:
     left = _evaluate(plan.left, env, outer)

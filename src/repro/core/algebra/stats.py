@@ -35,6 +35,16 @@ class ExecutionStats:
         #: ``(source, native text)`` for every query a wrapper executed,
         #: in execution order (a bind join appends one entry per call).
         self.native_queries: list = []
+        #: Resilience counters (filled in only under a retrying
+        #: :class:`~repro.mediator.resilience.ResiliencePolicy`).
+        self.retries: Counter = Counter()
+        self.failures: Counter = Counter()
+        #: ``{source: last failure message}`` for every failed source call.
+        self.last_errors: Dict[str, str] = {}
+        #: ``{source: cause}`` for sources dropped by graceful degradation.
+        self.dropped_sources: Dict[str, str] = {}
+        #: True when any part of the answer was sacrificed to keep going.
+        self.degraded: bool = False
 
     # -- recording -----------------------------------------------------------
 
@@ -61,6 +71,21 @@ class ExecutionStats:
                 result.append((source, native))
         return result
 
+    def record_retry(self, source: str) -> None:
+        """Record one retry (a repeated attempt) against *source*."""
+        self.retries[source] += 1
+
+    def record_failure(self, source: str, error: str) -> None:
+        """Record one failed call to *source* with its cause."""
+        self.failures[source] += 1
+        self.last_errors[source] = error
+
+    def record_dropped(self, source: str, cause: str) -> None:
+        """Record that *source* was dropped from the answer (degradation).
+        The first recorded cause wins — it names the original failure."""
+        self.dropped_sources.setdefault(source, cause)
+        self.degraded = True
+
     def record_operator(self, name: str, rows_out: int) -> None:
         """Record one evaluation of operator *name* producing *rows_out* rows."""
         self.operator_counts[name] += 1
@@ -80,6 +105,14 @@ class ExecutionStats:
     def total_source_calls(self) -> int:
         return sum(self.source_calls.values())
 
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def total_failures(self) -> int:
+        return sum(self.failures.values())
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dictionary summary, convenient for benchmark reports."""
         return {
@@ -91,6 +124,10 @@ class ExecutionStats:
             "total_rows_transferred": self.total_rows_transferred,
             "total_bytes_transferred": self.total_bytes_transferred,
             "total_source_calls": self.total_source_calls,
+            "retries": dict(self.retries),
+            "failures": dict(self.failures),
+            "dropped_sources": dict(self.dropped_sources),
+            "degraded": self.degraded,
         }
 
     def summary(self) -> str:
@@ -111,6 +148,17 @@ class ExecutionStats:
             f"{name}×{count}" for name, count in sorted(self.operator_counts.items())
         )
         lines.append(f"operators: {ops}")
+        if self.total_failures or self.total_retries:
+            lines.append(
+                f"resilience: {self.total_failures} failed calls, "
+                f"{self.total_retries} retries"
+            )
+        if self.degraded:
+            dropped = ", ".join(
+                f"{source} ({cause})"
+                for source, cause in sorted(self.dropped_sources.items())
+            )
+            lines.append(f"DEGRADED — dropped: {dropped}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -269,6 +269,9 @@ def _cell_into_element(cell: Cell, cell_el: ET.Element) -> None:
     elif isinstance(cell, DataNode):
         cell_el.append(tree_to_element(cell))
     elif isinstance(cell, tuple):
+        # The kind attribute distinguishes the collection marker from a
+        # tree cell whose root happens to be labelled "coll".
+        cell_el.set("kind", "coll")
         coll = ET.SubElement(cell_el, "coll")
         for item in cell:
             item_el = ET.SubElement(coll, "item")
@@ -313,7 +316,11 @@ def _element_to_cell(cell_el: ET.Element) -> Cell:
         except ValueError as exc:
             raise XmlFormatError(f"bad cell atom: {exc}") from exc
     children = list(cell_el)
-    if len(children) == 1 and children[0].tag == "coll":
+    if (
+        len(children) == 1
+        and children[0].tag == "coll"
+        and cell_el.get("kind") == "coll"
+    ):
         items = []
         for item_el in children[0]:
             items.append(_element_to_cell(item_el))

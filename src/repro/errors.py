@@ -124,6 +124,34 @@ class SqlSourceError(SourceError):
     """The relational source rejected a request."""
 
 
+class PushdownRejectedError(SourceError):
+    """A wrapper refused a pushed fragment outside its declared capabilities.
+
+    Deterministic — retrying the same fragment can never succeed, so
+    resilience policies treat it as non-retryable.
+    """
+
+
+class SourceTimeoutError(SourceError):
+    """A source call exceeded its per-call time budget (retryable)."""
+
+
+class SourceUnavailableError(SourceError):
+    """A source could not be reached, even after the policy's retries.
+
+    Carries the failing ``source`` name, the number of ``attempts`` made,
+    and (via ``__cause__``) the last underlying error.  Under a
+    degradation-enabled :class:`~repro.mediator.resilience.ResiliencePolicy`
+    the evaluator may drop a failed ``Union`` branch instead of
+    propagating this error.
+    """
+
+    def __init__(self, message: str, source: str = "", attempts: int = 0) -> None:
+        super().__init__(message)
+        self.source = source
+        self.attempts = attempts
+
+
 # ---------------------------------------------------------------------------
 # Mediator
 # ---------------------------------------------------------------------------
@@ -142,3 +170,17 @@ class UnknownDocumentError(MediatorError):
 
 class ViewError(MediatorError):
     """A view definition is missing or cannot be composed with a query."""
+
+
+class ExecutionReportError(MediatorError):
+    """An execution report was interrogated for something it does not hold
+    (e.g. ``document()`` on a plan that did not build a single tree)."""
+
+
+class QueryDeadlineError(MediatorError):
+    """A federated query exceeded its overall deadline."""
+
+
+class PartialResultError(MediatorError):
+    """Degradation was allowed but no source branch survived, so there is
+    no partial answer to return."""

@@ -3,13 +3,23 @@
 from repro.mediator.catalog import Catalog
 from repro.mediator.execution import ExecutionReport, run_plan
 from repro.mediator.mediator import Mediator, QueryResult
+from repro.mediator.resilience import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    SourceOutcome,
+)
 from repro.mediator.views import VIEW_SOURCE, ViewRegistry
 
 __all__ = [
     "Catalog",
+    "CircuitBreaker",
     "ExecutionReport",
     "Mediator",
     "QueryResult",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "SourceOutcome",
     "VIEW_SOURCE",
     "ViewRegistry",
     "run_plan",

@@ -1,44 +1,68 @@
-"""Plan execution with measurement.
+"""Plan execution with measurement and resilience.
 
 Thin wrapper around the algebra evaluator that times the run and bundles
 the result Tab with the :class:`~repro.core.algebra.stats.ExecutionStats`
 collected along the way — the unit benchmarks and examples report.
+
+Execution runs under a :class:`~repro.mediator.resilience.ResiliencePolicy`;
+the default ``ResiliencePolicy.direct()`` is the historical fail-fast
+behavior with zero wrapping, so every existing call site is unchanged.
+A retrying policy guards each source call with retry/backoff, circuit
+breakers and deadlines, and (when ``allow_partial_results`` is set) lets
+the evaluator degrade gracefully — the report then carries
+``degraded=True`` plus per-source :class:`SourceOutcome` records.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.errors import ExecutionReportError
 from repro.core.algebra.evaluator import Environment, SourceAdapter, evaluate
 from repro.core.algebra.operators import Plan
 from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Tab
+from repro.mediator.resilience import ResiliencePolicy, SourceOutcome
 from repro.model.trees import DataNode
 
 
 class ExecutionReport:
     """Outcome of one plan execution."""
 
-    __slots__ = ("plan", "tab", "stats", "elapsed")
+    __slots__ = ("plan", "tab", "stats", "elapsed", "outcomes")
 
     def __init__(
-        self, plan: Plan, tab: Tab, stats: ExecutionStats, elapsed: float
+        self,
+        plan: Plan,
+        tab: Tab,
+        stats: ExecutionStats,
+        elapsed: float,
+        outcomes: Tuple[SourceOutcome, ...] = (),
     ) -> None:
         self.plan = plan
         self.tab = tab
         self.stats = stats
         self.elapsed = elapsed
+        #: Per-source resilience records (empty under the direct policy).
+        self.outcomes = outcomes
+
+    @property
+    def degraded(self) -> bool:
+        """True when part of the answer was dropped to keep the query alive."""
+        return self.stats.degraded
 
     def document(self) -> DataNode:
         """The constructed document, for Tree-rooted plans."""
         if len(self.tab.columns) != 1 or len(self.tab) != 1:
-            raise ValueError(
+            raise ExecutionReportError(
                 "the plan did not produce a single document; inspect .tab instead"
             )
         cell = self.tab.rows[0].cells[0]
         if not isinstance(cell, DataNode):
-            raise ValueError("the plan's single cell is not a document tree")
+            raise ExecutionReportError(
+                "the plan's single cell is not a document tree"
+            )
         return cell
 
     def summary(self) -> str:
@@ -46,13 +70,18 @@ class ExecutionReport:
             f"rows: {len(self.tab)}  elapsed: {self.elapsed * 1000:.2f} ms",
             self.stats.summary(),
         ]
+        if self.outcomes:
+            lines.append(
+                "sources: " + "; ".join(repr(o) for o in self.outcomes)
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:
+        degraded = ", degraded" if self.degraded else ""
         return (
             f"ExecutionReport(rows={len(self.tab)}, "
             f"bytes={self.stats.total_bytes_transferred}, "
-            f"elapsed={self.elapsed:.4f}s)"
+            f"elapsed={self.elapsed:.4f}s{degraded})"
         )
 
 
@@ -60,11 +89,23 @@ def run_plan(
     plan: Plan,
     adapters: Dict[str, SourceAdapter],
     functions: Optional[Dict[str, Callable]] = None,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> ExecutionReport:
-    """Evaluate *plan* with fresh statistics and timing."""
+    """Evaluate *plan* with fresh statistics and timing.
+
+    *policy* defaults to :meth:`ResiliencePolicy.direct` — no retries, no
+    breakers, fail-fast — so all existing call sites behave exactly as
+    before.  Pass a retrying policy to guard the source calls.
+    """
+    if policy is None:
+        policy = ResiliencePolicy.direct()
     stats = ExecutionStats()
-    env = Environment(adapters, functions=functions, stats=stats)
+    runtime = policy.start(stats)
+    sources = runtime.wrap(adapters) if runtime is not None else adapters
+    env = Environment(sources, functions=functions, stats=stats,
+                      resilience=runtime)
     started = time.perf_counter()
     tab = evaluate(plan, env)
     elapsed = time.perf_counter() - started
-    return ExecutionReport(plan, tab, stats, elapsed)
+    outcomes = runtime.outcomes() if runtime is not None else ()
+    return ExecutionReport(plan, tab, stats, elapsed, outcomes=outcomes)

@@ -30,6 +30,7 @@ from repro.core.optimizer.planner import Optimizer
 from repro.core.optimizer.rules import OptimizerContext, RewriteTrace
 from repro.mediator.catalog import Catalog
 from repro.mediator.execution import ExecutionReport, run_plan
+from repro.mediator.resilience import ResiliencePolicy
 from repro.mediator.views import VIEW_SOURCE, ViewRegistry
 from repro.model.trees import DataNode
 from repro.sources.wais.index import document_contains
@@ -85,17 +86,35 @@ class QueryResult:
     def tab(self) -> Tab:
         return self.report.tab
 
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is partial (a source branch was dropped)."""
+        return self.report.degraded
+
+    @property
+    def outcomes(self):
+        """Per-source resilience records from the execution."""
+        return self.report.outcomes
+
     def document(self) -> DataNode:
         return self.report.document()
 
     def __repr__(self) -> str:
-        return f"QueryResult({self.report!r}, {len(self.trace)} rewrites)"
+        degraded = ", degraded" if self.degraded else ""
+        return (
+            f"QueryResult({self.report!r}, {len(self.trace)} rewrites{degraded})"
+        )
 
 
 class Mediator:
     """One mediator instance (``yat-mediator`` in Figure 2)."""
 
-    def __init__(self, name: str = "yat", gate_information_passing: bool = False) -> None:
+    def __init__(
+        self,
+        name: str = "yat",
+        gate_information_passing: bool = False,
+        policy: Optional[ResiliencePolicy] = None,
+    ) -> None:
         self.name = name
         self.catalog = Catalog()
         self.views = ViewRegistry()
@@ -103,6 +122,9 @@ class Mediator:
         #: Extension beyond the paper: cost-gate the bind-join conversion
         #: (see OptimizerContext.gate_information_passing).
         self.gate_information_passing = gate_information_passing
+        #: Resilience policy used by :meth:`execute` / :meth:`query` unless
+        #: overridden per call; ``None`` means fail-fast (direct).
+        self.policy = policy
         self.functions = {
             "ref_is": ref_is,
             "contains": _mediator_contains,
@@ -250,15 +272,27 @@ class Mediator:
         text: str,
         optimize: bool = True,
         rounds: Sequence[int] = (1, 2, 3),
+        policy: Optional[ResiliencePolicy] = None,
     ) -> QueryResult:
         """Parse, plan, optimize and evaluate a YAT_L query."""
         parsed = parse_query(text)
         naive, optimized, trace = self.plan_query(
             parsed, optimize=optimize, rounds=rounds
         )
-        report = self.execute(optimized)
+        report = self.execute(optimized, policy=policy)
         return QueryResult(naive, optimized, trace, report)
 
-    def execute(self, plan: Plan) -> ExecutionReport:
-        """Evaluate an already-planned query with fresh statistics."""
-        return run_plan(plan, self.catalog.adapters(), functions=self.functions)
+    def execute(
+        self, plan: Plan, policy: Optional[ResiliencePolicy] = None
+    ) -> ExecutionReport:
+        """Evaluate an already-planned query with fresh statistics.
+
+        *policy* (or the mediator-wide default given at construction)
+        guards every source call; absent both, execution is fail-fast.
+        """
+        return run_plan(
+            plan,
+            self.catalog.adapters(),
+            functions=self.functions,
+            policy=policy if policy is not None else self.policy,
+        )

@@ -1,0 +1,428 @@
+"""Resilience policies for federated execution.
+
+The paper's mediator (Figure 2) is fail-fast: one unreachable source
+aborts the whole federated query.  This module adds the failure handling
+real mediation stacks need, while keeping the happy path unchanged:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* jitter (hash of source and attempt, not a global RNG),
+  so runs are reproducible;
+* :class:`CircuitBreaker` — per-source closed/open/half-open breaker, so
+  a dead source stops being retried mid-plan and later calls fail fast;
+* per-call time budgets and a per-query deadline
+  (:class:`~repro.errors.QueryDeadlineError`);
+* graceful degradation — when ``allow_partial_results`` is set, the
+  evaluator may drop a failed ``Union`` branch and return a partial
+  answer, recorded on :class:`~repro.core.algebra.stats.ExecutionStats`
+  and surfaced as ``degraded`` on the execution report.
+
+A policy object is immutable configuration; :meth:`ResiliencePolicy.start`
+creates the per-query mutable state (:class:`PolicyRuntime`: breakers,
+deadline, outcome records).  ``ResiliencePolicy.direct()`` is the no-op
+default every existing call site gets: no wrapping, no overhead.
+
+Clocks and sleeping are injectable so tests drive time with a
+:class:`~repro.testing.faults.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable, Dict, Optional, Tuple, TypeVar
+
+from repro.errors import (
+    PushdownRejectedError,
+    QueryDeadlineError,
+    SourceError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+)
+from repro.core.algebra.evaluator import SourceAdapter
+from repro.core.algebra.operators import Plan
+from repro.core.algebra.stats import ExecutionStats
+from repro.core.algebra.tab import Row, Tab
+from repro.model.trees import DataNode
+
+T = TypeVar("T")
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter."""
+
+    __slots__ = ("max_attempts", "base_delay", "multiplier", "max_delay",
+                 "jitter", "seed")
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    def delay_for(self, source: str, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based) against *source*.
+
+        Jitter spreads delays over ``[raw, raw * (1 + jitter)]`` using a
+        hash of ``(seed, source, attempt)`` — two runs with the same seed
+        back off identically.
+        """
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        digest = hashlib.sha256(
+            f"{self.seed}:{source}:{attempt}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (1.0 + self.jitter * fraction)
+
+    @staticmethod
+    def is_retryable(error: BaseException) -> bool:
+        """Transient-looking source errors are retryable; deterministic
+        capability rejections and final unavailability verdicts are not."""
+        if isinstance(error, (SourceUnavailableError, PushdownRejectedError)):
+            return False
+        return isinstance(error, SourceError)
+
+
+class CircuitBreaker:
+    """Per-source breaker: closed -> open after N consecutive failures,
+    half-open after a cooldown (one probe), closed again on success."""
+
+    __slots__ = ("failure_threshold", "recovery_time", "state",
+                 "consecutive_failures", "opened_at")
+
+    def __init__(self, failure_threshold: int = 5, recovery_time: float = 30.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+
+    def allow(self, now: float) -> bool:
+        """May a call proceed at time *now*?  Flips open -> half-open
+        once the cooldown has elapsed (admitting a single probe)."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and now - self.opened_at >= self.recovery_time:
+            self.state = HALF_OPEN
+            return True
+        return self.state == HALF_OPEN
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.failure_threshold:
+            self.state = OPEN
+            self.opened_at = now
+
+
+class SourceOutcome:
+    """What happened to one source over one query execution."""
+
+    __slots__ = ("source", "calls", "retries", "failures", "circuit",
+                 "dropped", "error")
+
+    def __init__(
+        self,
+        source: str,
+        calls: int = 0,
+        retries: int = 0,
+        failures: int = 0,
+        circuit: str = CLOSED,
+        dropped: bool = False,
+        error: Optional[str] = None,
+    ) -> None:
+        self.source = source
+        self.calls = calls
+        self.retries = retries
+        self.failures = failures
+        self.circuit = circuit
+        self.dropped = dropped
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return not self.dropped and self.circuit == CLOSED
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "calls": self.calls,
+            "retries": self.retries,
+            "failures": self.failures,
+            "circuit": self.circuit,
+            "dropped": self.dropped,
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:
+        status = "dropped" if self.dropped else self.circuit
+        return (
+            f"SourceOutcome({self.source!r}, {status}, calls={self.calls}, "
+            f"retries={self.retries}, failures={self.failures})"
+        )
+
+
+class ResiliencePolicy:
+    """Immutable resilience configuration for federated execution.
+
+    ``ResiliencePolicy.direct()`` — the default everywhere — disables the
+    whole layer: adapters are not wrapped and the evaluator behaves
+    exactly as before.  ``ResiliencePolicy.default()`` enables retries
+    and the breaker with conservative settings.
+    """
+
+    __slots__ = ("retry", "circuit_failure_threshold", "circuit_recovery_time",
+                 "call_timeout", "query_deadline", "allow_partial_results",
+                 "clock", "sleep", "_direct")
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        circuit_failure_threshold: int = 5,
+        circuit_recovery_time: float = 30.0,
+        call_timeout: Optional[float] = None,
+        query_deadline: Optional[float] = None,
+        allow_partial_results: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.retry = retry
+        self.circuit_failure_threshold = circuit_failure_threshold
+        self.circuit_recovery_time = circuit_recovery_time
+        self.call_timeout = call_timeout
+        self.query_deadline = query_deadline
+        self.allow_partial_results = allow_partial_results
+        self.clock = clock
+        self.sleep = sleep
+        self._direct = False
+
+    @classmethod
+    def direct(cls) -> "ResiliencePolicy":
+        """The no-op policy: fail-fast, zero wrapping (the seed behavior)."""
+        policy = cls()
+        policy._direct = True
+        return policy
+
+    @classmethod
+    def default(cls, **overrides) -> "ResiliencePolicy":
+        """Retrying defaults: 3 attempts, breaker at 5 consecutive failures."""
+        settings = dict(
+            retry=RetryPolicy(),
+            circuit_failure_threshold=5,
+            circuit_recovery_time=30.0,
+        )
+        settings.update(overrides)
+        return cls(**settings)
+
+    @property
+    def is_direct(self) -> bool:
+        return self._direct
+
+    def start(self, stats: ExecutionStats) -> Optional["PolicyRuntime"]:
+        """Per-query runtime state, or ``None`` for the direct policy."""
+        if self._direct:
+            return None
+        return PolicyRuntime(self, stats)
+
+
+class PolicyRuntime:
+    """Mutable per-query state: breakers, deadline, per-source records."""
+
+    def __init__(self, policy: ResiliencePolicy, stats: ExecutionStats) -> None:
+        self.policy = policy
+        self.stats = stats
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._calls: Dict[str, int] = {}
+        self._errors: Dict[str, str] = {}
+        self._started = policy.clock()
+        self._deadline = (
+            self._started + policy.query_deadline
+            if policy.query_deadline is not None
+            else None
+        )
+
+    # -- wiring ---------------------------------------------------------------
+
+    @property
+    def allow_partial(self) -> bool:
+        return self.policy.allow_partial_results
+
+    def wrap(self, adapters: Dict[str, SourceAdapter]) -> Dict[str, SourceAdapter]:
+        """Adapters guarded by this runtime (idempotent per name)."""
+        return {
+            name: ResilientAdapter(name, adapter, self)
+            for name, adapter in adapters.items()
+        }
+
+    def breaker(self, source: str) -> CircuitBreaker:
+        breaker = self._breakers.get(source)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.policy.circuit_failure_threshold,
+                self.policy.circuit_recovery_time,
+            )
+            self._breakers[source] = breaker
+        return breaker
+
+    # -- deadlines ------------------------------------------------------------
+
+    def check_deadline(self) -> None:
+        if self._deadline is not None and self.policy.clock() > self._deadline:
+            raise QueryDeadlineError(
+                f"query exceeded its {self.policy.query_deadline:.3f}s deadline"
+            )
+
+    # -- the guarded call -------------------------------------------------------
+
+    def call(self, source: str, operation: str, thunk: Callable[[], T]) -> T:
+        """Run one source call under retry/backoff, breaker, and deadlines.
+
+        Raises :class:`QueryDeadlineError` when the query is out of time
+        and :class:`SourceUnavailableError` when the breaker is open or
+        every attempt failed.
+        """
+        self.check_deadline()
+        breaker = self.breaker(source)
+        if not breaker.allow(self.policy.clock()):
+            self.stats.record_failure(source, "circuit open")
+            self._errors.setdefault(source, "circuit open")
+            raise SourceUnavailableError(
+                f"source {source!r} is unavailable: circuit open after "
+                f"{breaker.consecutive_failures} consecutive failures",
+                source=source,
+            )
+        retry = self.policy.retry
+        max_attempts = retry.max_attempts if retry is not None else 1
+        last_error: Optional[SourceError] = None
+        attempt = 0
+        while attempt < max_attempts:
+            attempt += 1
+            self.check_deadline()
+            started = self.policy.clock()
+            self._calls[source] = self._calls.get(source, 0) + 1
+            try:
+                result = thunk()
+            except SourceUnavailableError:
+                raise
+            except SourceError as error:
+                last_error = error
+            else:
+                elapsed = self.policy.clock() - started
+                if (
+                    self.policy.call_timeout is not None
+                    and elapsed > self.policy.call_timeout
+                ):
+                    last_error = SourceTimeoutError(
+                        f"{source}.{operation} took {elapsed:.3f}s "
+                        f"(budget {self.policy.call_timeout:.3f}s)"
+                    )
+                else:
+                    breaker.record_success()
+                    self.check_deadline()
+                    return result
+            # One attempt failed (error or per-call timeout).
+            self.stats.record_failure(source, str(last_error))
+            self._errors[source] = str(last_error)
+            breaker.record_failure(self.policy.clock())
+            if (
+                attempt >= max_attempts
+                or not RetryPolicy.is_retryable(last_error)
+                or breaker.state == OPEN
+            ):
+                break
+            self.stats.record_retry(source)
+            self.policy.sleep(retry.delay_for(source, attempt))
+        raise SourceUnavailableError(
+            f"source {source!r} is unavailable after {attempt} attempt(s): "
+            f"{last_error}",
+            source=source,
+            attempts=attempt,
+        ) from last_error
+
+    # -- degradation ------------------------------------------------------------
+
+    def record_dropped(self, source: str, cause: str) -> None:
+        self._errors.setdefault(source, cause)
+        self.stats.record_dropped(source, cause)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def outcomes(self) -> Tuple[SourceOutcome, ...]:
+        """Per-source records for every source this runtime touched."""
+        sources = set(self._calls) | set(self._breakers) | set(self._errors)
+        sources |= set(self.stats.dropped_sources)
+        records = []
+        for source in sorted(sources):
+            breaker = self._breakers.get(source)
+            records.append(
+                SourceOutcome(
+                    source,
+                    calls=self._calls.get(source, 0),
+                    retries=self.stats.retries.get(source, 0),
+                    failures=self.stats.failures.get(source, 0),
+                    circuit=breaker.state if breaker is not None else CLOSED,
+                    dropped=source in self.stats.dropped_sources,
+                    error=self._errors.get(source),
+                )
+            )
+        return tuple(records)
+
+
+class ResilientAdapter(SourceAdapter):
+    """A :class:`SourceAdapter` guarded by a :class:`PolicyRuntime`.
+
+    ``document_names`` stays direct (catalog metadata, used during
+    planning); the data-plane calls go through :meth:`PolicyRuntime.call`.
+    """
+
+    __slots__ = ("name", "inner", "runtime")
+
+    def __init__(
+        self, name: str, inner: SourceAdapter, runtime: PolicyRuntime
+    ) -> None:
+        self.name = name
+        self.inner = inner
+        self.runtime = runtime
+
+    def document_names(self) -> Tuple[str, ...]:
+        return self.inner.document_names()
+
+    def document(self, name: str) -> DataNode:
+        return self.runtime.call(
+            self.name, "document", lambda: self.inner.document(name)
+        )
+
+    def ident_index(self) -> Dict[str, DataNode]:
+        return self.runtime.call(
+            self.name, "ident_index", self.inner.ident_index
+        )
+
+    def execute_pushed(
+        self, plan: Plan, outer: Optional[Row] = None
+    ) -> Tuple[Tab, str]:
+        return self.runtime.call(
+            self.name,
+            "execute_pushed",
+            lambda: self.inner.execute_pushed(plan, outer),
+        )

@@ -1,0 +1,21 @@
+"""Testing utilities: deterministic fault injection for federated runs."""
+
+from repro.testing.faults import (
+    Fault,
+    FaultInjector,
+    FaultSchedule,
+    FaultyAdapter,
+    FaultyWrapper,
+    InjectedFaultError,
+    VirtualClock,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultyAdapter",
+    "FaultyWrapper",
+    "InjectedFaultError",
+    "VirtualClock",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from abc import abstractmethod
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import SourceError
+from repro.errors import PushdownRejectedError, SourceError
 from repro.capabilities.interface import SourceInterface
 from repro.capabilities.matcher import CapabilityMatcher
 from repro.capabilities.xml_codec import interface_to_xml
@@ -49,7 +49,8 @@ class PushedFragment:
         [Project] ( [Select]* ( Bind ( Source ) ) )
 
     ``analyze_fragment`` decomposes a plan into this normal form or
-    raises :class:`SourceError` when the plan does not fit.
+    raises :class:`PushdownRejectedError` when the plan does not fit —
+    a deterministic rejection resilience policies never retry.
     """
 
     __slots__ = ("document", "filter", "selections", "projection")
@@ -78,23 +79,23 @@ def analyze_fragment(plan: Plan, source_name: str) -> PushedFragment:
         selections.append(plan.predicate)
         plan = plan.input
     if not isinstance(plan, BindOp):
-        raise SourceError(
+        raise PushdownRejectedError(
             f"pushed plan for {source_name!r} must bottom out in Bind(Source); "
             f"got {plan.describe()}"
         )
     bind = plan
     if not isinstance(bind.input, SourceOp):
-        raise SourceError(
+        raise PushdownRejectedError(
             f"pushed Bind for {source_name!r} must read a Source directly"
         )
     source_op = bind.input
     if source_op.source != source_name:
-        raise SourceError(
+        raise PushdownRejectedError(
             f"pushed plan targets source {source_op.source!r}, "
             f"but was sent to {source_name!r}"
         )
     if bind.on != source_op.document:
-        raise SourceError(
+        raise PushdownRejectedError(
             f"pushed Bind must match the source document "
             f"({bind.on!r} != {source_op.document!r})"
         )
@@ -141,20 +142,20 @@ class Wrapper(SourceAdapter):
         matcher = self.matcher()
         admissible = matcher.bind_admissible(fragment.filter)
         if not admissible:
-            raise SourceError(
+            raise PushdownRejectedError(
                 f"wrapper {self.name!r} rejects pushed filter: {admissible.reason}"
             )
         for predicate in fragment.selections:
             pushable = matcher.predicate_pushable(predicate)
             if not pushable:
-                raise SourceError(
+                raise PushdownRejectedError(
                     f"wrapper {self.name!r} rejects pushed predicate "
                     f"{predicate.text()}: {pushable.reason}"
                 )
         if fragment.projection is not None:
             pushable = matcher.operation_pushable("project")
             if not pushable:
-                raise SourceError(
+                raise PushdownRejectedError(
                     f"wrapper {self.name!r} rejects pushed projection: "
                     f"{pushable.reason}"
                 )
