@@ -24,13 +24,20 @@ Quickstart::
 
 from repro.core.algebra import evaluate
 from repro.core.optimizer import Optimizer, OptimizerContext, optimize
-from repro.mediator import Mediator, QueryResult, ResiliencePolicy, RetryPolicy
+from repro.mediator import (
+    ExecutionPolicy,
+    Mediator,
+    QueryResult,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.wrappers import O2Wrapper, SqlWrapper, WaisWrapper
 from repro.yatl import parse_program, parse_query
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionPolicy",
     "Mediator",
     "O2Wrapper",
     "Optimizer",

@@ -12,10 +12,19 @@ measures faithfully through :class:`~repro.core.algebra.stats.ExecutionStats`:
   and transfers only the result Tab;
 * a ``DJoin`` re-evaluates its right input once per left row, passing the
   row as an outer environment (information passing, Section 5.3).
+
+Federated scheduling (:mod:`repro.core.algebra.scheduling`) layers three
+optimizations over that baseline, none of which changes any answer:
+Union branches and independent Join inputs evaluate concurrently on a
+bounded pool when ``ExecutionPolicy.parallelism > 1``; a DJoin batches
+its right input per *distinct* outer binding tuple; and a per-execution
+cache memoizes wrapper round trips.  ``ExecutionPolicy.serial()``
+restores the naive engine byte for byte.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -47,6 +56,13 @@ from repro.core.algebra.operators import (
     UnionOp,
     UnitOp,
 )
+from repro.core.algebra.scheduling import (
+    ExecutionPolicy,
+    PlanScheduler,
+    SourceCallCache,
+    outer_binding_key,
+    plan_parameters,
+)
 from repro.core.algebra.skolem import SkolemRegistry
 from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Row, Tab, tab_serialized_size
@@ -66,6 +82,15 @@ class SourceAdapter(ABC):
     @abstractmethod
     def document_names(self) -> Tuple[str, ...]:
         """Names of the documents this source exports."""
+
+    def document_name_set(self) -> frozenset:
+        """Exported document names as a set (membership tests).
+
+        The default rebuilds the set on each call; adapters with a
+        stable catalog (every wrapper) override this with a cached
+        frozenset so per-SourceOp membership checks are O(1).
+        """
+        return frozenset(self.document_names())
 
     @abstractmethod
     def document(self, name: str) -> DataNode:
@@ -92,6 +117,7 @@ class Environment:
         stats: Optional[ExecutionStats] = None,
         skolems: Optional[SkolemRegistry] = None,
         resilience=None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self.sources = dict(sources)
         self.functions = dict(functions or {})
@@ -101,7 +127,18 @@ class Environment:
         #: when set and permitting partial results, Union branches and
         #: ident indexes of unavailable sources degrade instead of failing.
         self.resilience = resilience
+        #: Federated scheduling knobs; the default keeps evaluation
+        #: strictly serial (parallelism=1) with caching and batching on.
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.call_cache = (
+            SourceCallCache() if self.policy.cache_source_calls else None
+        )
+        self._scheduler: Optional[PlanScheduler] = None
         self._ident_index: Optional[Dict[str, DataNode]] = None
+        self._ident_lock = threading.Lock()
+        #: ``id(plan) -> (plan, parameters)``; the plan reference keeps
+        #: the id stable for the lifetime of the entry.
+        self._parameters: Dict[int, tuple] = {}
 
     def source(self, name: str) -> SourceAdapter:
         try:
@@ -109,27 +146,59 @@ class Environment:
         except KeyError:
             raise UnknownSourceError(f"source {name!r} is not connected") from None
 
+    def scheduler(self) -> Optional[PlanScheduler]:
+        """The shared thread pool, or ``None`` under a serial policy.
+
+        Created lazily on the first concurrent dispatch; callers that
+        own the environment should :meth:`shutdown` when done (``run_plan``
+        does).
+        """
+        if not self.policy.concurrent:
+            return None
+        if self._scheduler is None:
+            self._scheduler = PlanScheduler(self.policy.parallelism)
+        return self._scheduler
+
+    def shutdown(self) -> None:
+        """Release the thread pool, if one was created."""
+        if self._scheduler is not None:
+            self._scheduler.shutdown()
+            self._scheduler = None
+
+    def plan_parameters(self, plan: Plan) -> frozenset:
+        """Outer columns *plan* observes (memoized per plan object)."""
+        entry = self._parameters.get(id(plan))
+        if entry is not None and entry[0] is plan:
+            return entry[1]
+        parameters = plan_parameters(plan)
+        self._parameters[id(plan)] = (plan, parameters)
+        return parameters
+
     def ident_index(self) -> Dict[str, DataNode]:
         """Merged identifier index across all connected sources (cached).
 
-        Under a degradation-enabled resilience policy, a source whose
-        index is unavailable is skipped (its references simply stop
+        The merge runs once per execution, however many Bind evaluations
+        (including DJoin-driven re-evaluations) ask for it; the lock
+        keeps the one-shot guarantee under concurrent branches.  Under a
+        degradation-enabled resilience policy, a source whose index is
+        unavailable is skipped (its references simply stop
         dereferencing) and recorded as dropped; otherwise the error
         propagates as before.
         """
-        if self._ident_index is None:
-            merged: Dict[str, DataNode] = {}
-            for name, adapter in self.sources.items():
-                try:
-                    merged.update(adapter.ident_index())
-                except SourceUnavailableError as error:
-                    if self.resilience is None or not self.resilience.allow_partial:
-                        raise
-                    self.resilience.record_dropped(
-                        name, f"ident index unavailable: {error}"
-                    )
-            self._ident_index = merged
-        return self._ident_index
+        with self._ident_lock:
+            if self._ident_index is None:
+                merged: Dict[str, DataNode] = {}
+                for name, adapter in self.sources.items():
+                    try:
+                        merged.update(adapter.ident_index())
+                    except SourceUnavailableError as error:
+                        if self.resilience is None or not self.resilience.allow_partial:
+                            raise
+                        self.resilience.record_dropped(
+                            name, f"ident index unavailable: {error}"
+                        )
+                self._ident_index = merged
+            return self._ident_index
 
 
 def evaluate(plan: Plan, env: Environment, outer: Optional[Row] = None) -> Tab:
@@ -184,11 +253,21 @@ def _evaluate(plan: Plan, env: Environment, outer: Optional[Row]) -> Tab:
 
 def _eval_source(plan: SourceOp, env: Environment) -> Tab:
     adapter = env.source(plan.source)
-    if plan.document not in adapter.document_names():
+    if plan.document not in adapter.document_name_set():
         raise UnknownDocumentError(
             f"source {plan.source!r} exports no document {plan.document!r}"
         )
+    cache = env.call_cache
+    key = ("document", plan.source, plan.document)
+    if cache is not None:
+        found, root = cache.lookup(key)
+        if found:
+            env.stats.record_cache_hit(plan.source)
+            env.stats.record_operator("Source", 1)
+            return Tab((plan.document,), [Row((plan.document,), (root,))])
     root = adapter.document(plan.document)
+    if cache is not None:
+        cache.store(key, root)
     env.stats.record_call(plan.source)
     env.stats.record_transfer(plan.source, rows=1, size=serialized_size(root))
     env.stats.record_operator("Source", 1)
@@ -197,7 +276,25 @@ def _eval_source(plan: SourceOp, env: Environment) -> Tab:
 
 def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
     adapter = env.source(plan.source)
+    cache = env.call_cache
+    key = None
+    if cache is not None:
+        # Two calls with the same fragment and the same outer constants
+        # (the only outer values a wrapper can inline) return the same Tab.
+        key = (
+            "pushed",
+            plan.source,
+            plan.plan._key(),
+            outer_binding_key(outer, env.plan_parameters(plan.plan)),
+        )
+        found, tab = cache.lookup(key)
+        if found:
+            env.stats.record_cache_hit(plan.source)
+            env.stats.record_operator("Pushed", len(tab))
+            return tab
     tab, native = adapter.execute_pushed(plan.plan, outer)
+    if cache is not None:
+        cache.store(key, tab)
     env.stats.record_native(plan.source, native)
     env.stats.record_call(plan.source)
     env.stats.record_transfer(plan.source, rows=len(tab), size=tab_serialized_size(tab))
@@ -375,9 +472,36 @@ def fuse_documents(documents: List[DataNode]) -> DataNode:
 # Binary operators
 # ---------------------------------------------------------------------------
 
+def _eval_pair(
+    left_plan: Plan, right_plan: Plan, env: Environment, outer: Optional[Row]
+) -> Tuple[Tab, Tab]:
+    """Evaluate two independent inputs, concurrently when the policy allows.
+
+    Error propagation is deterministic either way: the left input's
+    error wins, exactly as in serial evaluation (where a failing left
+    input means the right is never evaluated at all).
+    """
+    scheduler = env.scheduler()
+    if scheduler is None:
+        return (
+            _evaluate(left_plan, env, outer),
+            _evaluate(right_plan, env, outer),
+        )
+    outcomes = scheduler.run(
+        [
+            lambda: _evaluate(left_plan, env, outer),
+            lambda: _evaluate(right_plan, env, outer),
+        ]
+    )
+    env.stats.record_parallel(2)
+    for value, error in outcomes:
+        if error is not None:
+            raise error
+    return outcomes[0][0], outcomes[1][0]
+
+
 def _eval_join(plan: JoinOp, env: Environment, outer: Optional[Row]) -> Tab:
-    left = _evaluate(plan.left, env, outer)
-    right = _evaluate(plan.right, env, outer)
+    left, right = _eval_pair(plan.left, plan.right, env, outer)
     out_columns = left.columns + right.columns
 
     # Associative access (the Figure 7 payoff): equality and
@@ -498,10 +622,54 @@ def _eval_djoin(plan: DJoinOp, env: Environment, outer: Optional[Row]) -> Tab:
     # Column names come from the actual right-hand Tabs (a pushed fragment
     # may order its columns differently from the static inference).
     out_columns = plan.output_columns()
-    rows = []
+    if not env.policy.batch_djoin:
+        rows = []
+        for lrow in left:
+            inner_outer = _overlay(lrow, outer)
+            right = _evaluate(plan.right, env, inner_outer)
+            out_columns = left.columns + right.columns
+            for rrow in right:
+                rows.append(Row(out_columns, lrow.cells + rrow.cells))
+        env.stats.record_operator("DJoin", len(rows))
+        return Tab(out_columns, rows)
+
+    # Dependent-join batching: the right plan only observes the outer
+    # columns in plan_parameters(right), so left rows that agree on them
+    # share one right-branch evaluation.  Distinct binding tuples are
+    # evaluated in first-appearance order (and concurrently under a
+    # parallel policy), then re-expanded in the original row order —
+    # row-for-row identical to the serial nested loop.
+    parameters = env.plan_parameters(plan.right)
+    keys: List[tuple] = []
+    representative: Dict[tuple, Row] = {}
     for lrow in left:
         inner_outer = _overlay(lrow, outer)
-        right = _evaluate(plan.right, env, inner_outer)
+        key = outer_binding_key(inner_outer, parameters)
+        keys.append(key)
+        if key not in representative:
+            representative[key] = inner_outer
+    env.stats.record_batched(len(left.rows) - len(representative))
+    order = list(representative)
+    scheduler = env.scheduler() if len(order) > 1 else None
+    tabs: Dict[tuple, Tab] = {}
+    if scheduler is not None:
+        outcomes = scheduler.run(
+            [
+                lambda o=representative[key]: _evaluate(plan.right, env, o)
+                for key in order
+            ]
+        )
+        env.stats.record_parallel(len(order))
+        for key, (tab, error) in zip(order, outcomes):
+            if error is not None:
+                raise error
+            tabs[key] = tab
+    else:
+        for key in order:
+            tabs[key] = _evaluate(plan.right, env, representative[key])
+    rows = []
+    for lrow, key in zip(left.rows, keys):
+        right = tabs[key]
         out_columns = left.columns + right.columns
         for rrow in right:
             rows.append(Row(out_columns, lrow.cells + rrow.cells))
@@ -519,11 +687,36 @@ def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
     surviving branch is returned.  With both branches down there is no
     partial answer, so :class:`PartialResultError` is raised.
     """
+    scheduler = env.scheduler()
+    if scheduler is not None:
+        # Both branches evaluate concurrently; their outcomes are then
+        # folded in branch order, so degradation bookkeeping and error
+        # propagation match the serial path (a failing left branch under
+        # a fail-fast policy re-raises before the right is examined).
+        outcomes = scheduler.run(
+            [
+                lambda: _evaluate(plan.left, env, outer),
+                lambda: _evaluate(plan.right, env, outer),
+            ]
+        )
+        env.stats.record_parallel(2)
+
+        def branch_result(index: int, branch: Plan) -> Tab:
+            tab, error = outcomes[index]
+            if error is not None:
+                raise error
+            return tab
+
+    else:
+
+        def branch_result(index: int, branch: Plan) -> Tab:
+            return _evaluate(branch, env, outer)
+
     branches: List[Optional[Tab]] = []
     last_error: Optional[SourceUnavailableError] = None
-    for branch in (plan.left, plan.right):
+    for index, branch in enumerate((plan.left, plan.right)):
         try:
-            branches.append(_evaluate(branch, env, outer))
+            branches.append(branch_result(index, branch))
         except SourceUnavailableError as error:
             if env.resilience is None or not env.resilience.allow_partial:
                 raise
@@ -559,8 +752,7 @@ def _branch_sources(plan: Plan) -> set:
     }
 
 def _eval_intersect(plan: IntersectOp, env: Environment, outer: Optional[Row]) -> Tab:
-    left = _evaluate(plan.left, env, outer)
-    right = _evaluate(plan.right, env, outer)
+    left, right = _eval_pair(plan.left, plan.right, env, outer)
     if left.columns != right.columns:
         right = right.project(left.columns)
     right_keys = {row._value_key() for row in right}

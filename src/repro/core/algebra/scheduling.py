@@ -1,0 +1,295 @@
+"""Federated execution scheduling: policy, thread pool, source-call cache.
+
+The paper's mediator minimizes its *own* work by shipping fragments to
+wrapped sources, but the seed evaluator still talks to those sources one
+call at a time: Union branches over disjoint sources evaluate serially,
+and a DJoin issues one pushed round trip per outer row even when the
+outer values repeat.  This module holds the machinery the evaluator uses
+to remove that serialization without changing any answer:
+
+* :class:`ExecutionPolicy` — immutable knobs (``parallelism``,
+  ``cache_source_calls``, ``batch_djoin``).  The default keeps
+  ``parallelism=1``, so evaluation order — and therefore every side
+  effect visible to a single-threaded run — is unchanged;
+* :class:`PlanScheduler` — a bounded thread pool for concurrent branch
+  evaluation that cannot deadlock under nesting: a waiting thread
+  reclaims any task the pool has not started yet and runs it inline;
+* :class:`SourceCallCache` — a per-execution memo of wrapper round trips
+  keyed by ``(operation, source, canonical plan key, outer constants)``;
+* :func:`plan_parameters` — the outer columns a plan can observe, which
+  is both the DJoin batching key and the pushed-call cache key.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.algebra.operators import (
+    BindOp,
+    DJoinOp,
+    FuseOp,
+    IntersectOp,
+    JoinOp,
+    LiteralOp,
+    MapOp,
+    Plan,
+    PushedOp,
+    SelectOp,
+    SourceOp,
+    UnionOp,
+    UnitOp,
+)
+from repro.core.algebra.tab import Row
+from repro.model.filters import MissingValue
+from repro.model.trees import DataNode
+
+
+class ExecutionPolicy:
+    """Immutable configuration of the federated execution scheduler.
+
+    ``parallelism`` bounds the number of plan branches evaluated
+    concurrently; ``1`` (the default) keeps the seed's strictly serial
+    evaluation order.  ``cache_source_calls`` memoizes wrapper round
+    trips for the duration of one execution, and ``batch_djoin`` makes a
+    DJoin evaluate its right input once per *distinct* outer binding
+    tuple instead of once per left row.  Both are on by default: they
+    never change the produced Tab, only the number of recorded source
+    calls.
+    """
+
+    __slots__ = ("parallelism", "cache_source_calls", "batch_djoin")
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        cache_source_calls: bool = True,
+        batch_djoin: bool = True,
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.cache_source_calls = cache_source_calls
+        self.batch_djoin = batch_djoin
+
+    @classmethod
+    def serial(cls) -> "ExecutionPolicy":
+        """The seed behavior, byte for byte: no pool, no cache, no batching."""
+        return cls(parallelism=1, cache_source_calls=False, batch_djoin=False)
+
+    @classmethod
+    def parallel(cls, parallelism: int = 4) -> "ExecutionPolicy":
+        """Concurrent dispatch with caching and batching on."""
+        return cls(parallelism=parallelism)
+
+    @property
+    def concurrent(self) -> bool:
+        return self.parallelism > 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPolicy(parallelism={self.parallelism}, "
+            f"cache_source_calls={self.cache_source_calls}, "
+            f"batch_djoin={self.batch_djoin})"
+        )
+
+
+class PlanScheduler:
+    """Bounded thread pool for concurrent plan-branch evaluation.
+
+    Deadlock freedom under nesting (a parallel Union inside a parallel
+    Join, say) relies on one rule: :meth:`run` submits every thunk to the
+    pool, then — instead of blocking on a queued task — *reclaims* it.
+    ``Future.cancel`` succeeds exactly when the pool has not started the
+    task, in which case the waiting thread runs the thunk inline.  A
+    thread therefore only ever blocks on tasks actually running on some
+    other thread, and those terminate; a saturated pool degrades to
+    inline (serial) evaluation instead of deadlocking.
+    """
+
+    def __init__(self, parallelism: int) -> None:
+        if parallelism < 2:
+            raise ValueError("a scheduler needs parallelism >= 2")
+        self.parallelism = parallelism
+        self._executor = ThreadPoolExecutor(
+            max_workers=parallelism, thread_name_prefix="yat-exec"
+        )
+
+    def run(self, thunks: Sequence[Callable[[], object]]) -> List[tuple]:
+        """Evaluate *thunks*, returning ``(value, error)`` pairs in order.
+
+        Exactly one of the pair is ``None``; errors are captured rather
+        than raised so the caller can apply its own propagation order
+        (the evaluator prefers the leftmost branch's error, matching
+        serial semantics).
+        """
+        futures = [self._executor.submit(_capture, thunk) for thunk in thunks]
+        results: List[tuple] = []
+        for future, thunk in zip(futures, thunks):
+            if future.cancel():
+                results.append(_capture(thunk))
+            else:
+                results.append(future.result())
+        return results
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+def _capture(thunk: Callable[[], object]) -> tuple:
+    try:
+        return (thunk(), None)
+    except BaseException as error:  # re-raised by the caller, in branch order
+        return (None, error)
+
+
+class SourceCallCache:
+    """Per-execution memo of wrapper round trips.
+
+    Entries are keyed by ``(operation, source, canonical plan key, outer
+    constants)`` — everything a deterministic source call can depend on.
+    Sources are read-only for the duration of one execution (the paper's
+    setting), so a repeated call is pure waste; the evaluator consults
+    the cache before crossing the wrapper boundary and records a
+    ``cache_hits`` stat instead of a call on a hit.
+
+    The table is guarded by one lock, but misses run *outside* it: a slow
+    source never serializes unrelated calls.  Two threads missing on the
+    same key may both call the source — results are deterministic, so
+    either write is correct.
+    """
+
+    __slots__ = ("_lock", "_entries")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[tuple, object] = {}
+
+    def lookup(self, key: tuple) -> Tuple[bool, object]:
+        with self._lock:
+            if key in self._entries:
+                return True, self._entries[key]
+        return False, None
+
+    def store(self, key: tuple, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Outer-parameter analysis
+# ---------------------------------------------------------------------------
+
+def plan_parameters(plan: Plan) -> frozenset:
+    """Outer columns *plan* can observe during evaluation.
+
+    A column is a parameter when some operator resolves it against the
+    outer environment rather than its own input: a ``Bind`` whose target
+    is not an input column, a predicate/Map variable no input provides,
+    or a pushed fragment inlining an outer constant (information
+    passing).  Two outer rows that agree on these columns — compared by
+    :func:`identity_cell_key` — make the plan evaluate identically,
+    which is exactly what DJoin batching and the pushed-call cache key
+    on.
+    """
+    if isinstance(plan, (UnitOp, LiteralOp, SourceOp)):
+        return frozenset()
+    if isinstance(plan, PushedOp):
+        return plan_parameters(plan.plan)
+    if isinstance(plan, BindOp):
+        free = set(plan_parameters(plan.input))
+        if plan.on not in plan.input.output_columns():
+            free.add(plan.on)
+        return frozenset(free)
+    if isinstance(plan, SelectOp):
+        local = set(plan.input.output_columns())
+        return plan_parameters(plan.input) | (
+            set(plan.predicate.variables()) - local
+        )
+    if isinstance(plan, MapOp):
+        local = set(plan.input.output_columns())
+        free = set(plan_parameters(plan.input))
+        for _name, expr in plan.bindings:
+            free |= set(expr.variables()) - local
+        return frozenset(free)
+    if isinstance(plan, JoinOp):
+        local = set(plan.left.output_columns()) | set(plan.right.output_columns())
+        return (
+            plan_parameters(plan.left)
+            | plan_parameters(plan.right)
+            | (set(plan.predicate.variables()) - local)
+        )
+    if isinstance(plan, DJoinOp):
+        return plan_parameters(plan.left) | (
+            plan_parameters(plan.right) - set(plan.left.output_columns())
+        )
+    if isinstance(plan, (UnionOp, IntersectOp)):
+        return plan_parameters(plan.left) | plan_parameters(plan.right)
+    if isinstance(plan, FuseOp):
+        free: frozenset = frozenset()
+        for input_plan in plan.inputs:
+            free |= plan_parameters(input_plan)
+        return free
+    # Distinct, Project, Group, Sort, Tree: column references resolve
+    # against the input Tab only, never the outer environment.
+    result: frozenset = frozenset()
+    for child in plan.children():
+        result |= plan_parameters(child)
+    return result
+
+
+#: Marker for a parameter column absent from the outer row (the plan
+#: will fail to resolve it the same way every time, so keying on the
+#: absence is sound).
+ABSENT = ("absent",)
+
+
+def identity_cell_key(cell: object) -> tuple:
+    """Hashable key under which equal cells evaluate identically.
+
+    Stricter than structural ``Row`` equality: node identifiers are
+    *included* (``_value_key`` excludes them), because ``ref_is`` joins
+    and reference dereferencing distinguish structurally equal nodes
+    with different identities.
+    """
+    if isinstance(cell, DataNode):
+        return (
+            "node",
+            cell.label,
+            cell.collection,
+            cell.ident,
+            cell.atom if cell.is_atom_leaf else None,
+            cell.ref_target if cell.is_reference else None,
+            tuple(identity_cell_key(child) for child in cell.children),
+        )
+    if isinstance(cell, tuple):
+        return ("coll",) + tuple(identity_cell_key(item) for item in cell)
+    if isinstance(cell, MissingValue):
+        return ("missing",)
+    if isinstance(cell, Row):
+        return (
+            "row",
+            cell.columns,
+            tuple(identity_cell_key(c) for c in cell.cells),
+        )
+    return ("atom", type(cell).__name__, cell)
+
+
+def outer_binding_key(
+    outer: Optional[Row], parameters: frozenset
+) -> tuple:
+    """The projection of *outer* onto *parameters*, as a hashable key."""
+    if not parameters:
+        return ()
+    parts = []
+    for column in sorted(parameters):
+        if outer is not None and column in outer:
+            parts.append((column, identity_cell_key(outer[column])))
+        else:
+            parts.append((column, ABSENT))
+    return tuple(parts)

@@ -14,15 +14,22 @@ same title and creator contribute to the same output tree.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Tuple
 
 from repro.core.algebra.tab import _cell_key
 
 
 class SkolemRegistry:
-    """Mint stable identifiers for (function, arguments) pairs."""
+    """Mint stable identifiers for (function, arguments) pairs.
+
+    Minting is thread-safe: concurrent plan branches share one registry,
+    and equal arguments must map to one identifier even when two threads
+    race on the first use.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._idents: Dict[Tuple[str, tuple], str] = {}
         self._counters: Dict[str, int] = {}
 
@@ -34,18 +41,20 @@ class SkolemRegistry:
         the same data.
         """
         key = (function, tuple(_cell_key(arg) for arg in args))
-        ident = self._idents.get(key)
-        if ident is None:
-            count = self._counters.get(function, 0) + 1
-            self._counters[function] = count
-            ident = f"{function}_{count}"
-            self._idents[key] = ident
-        return ident
+        with self._lock:
+            ident = self._idents.get(key)
+            if ident is None:
+                count = self._counters.get(function, 0) + 1
+                self._counters[function] = count
+                ident = f"{function}_{count}"
+                self._idents[key] = ident
+            return ident
 
     def known(self, function: str, args: tuple) -> bool:
         """``True`` when an identifier was already minted for these arguments."""
         key = (function, tuple(_cell_key(arg) for arg in args))
-        return key in self._idents
+        with self._lock:
+            return key in self._idents
 
     def __len__(self) -> int:
         return len(self._idents)

@@ -19,14 +19,22 @@ the paper's claims is about transfer and processing, not absolute speed.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Dict
 
 
 class ExecutionStats:
-    """Mutable counters filled in by the evaluator."""
+    """Mutable counters filled in by the evaluator.
+
+    All ``record_*`` methods are thread-safe: under an
+    :class:`~repro.core.algebra.scheduling.ExecutionPolicy` with
+    ``parallelism > 1``, branches of one plan accumulate into the same
+    instance from pool threads.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.rows_transferred: Counter = Counter()
         self.bytes_transferred: Counter = Counter()
         self.source_calls: Counter = Counter()
@@ -45,21 +53,31 @@ class ExecutionStats:
         self.dropped_sources: Dict[str, str] = {}
         #: True when any part of the answer was sacrificed to keep going.
         self.degraded: bool = False
+        #: Round trips avoided by the per-execution source-call cache.
+        self.cache_hits: Counter = Counter()
+        #: Right-branch DJoin evaluations served from the batch memo
+        #: (duplicate outer binding tuples re-expanded without a call).
+        self.batched_calls: int = 0
+        #: Plan branches dispatched to the scheduler's thread pool.
+        self.parallel_branches: int = 0
 
     # -- recording -----------------------------------------------------------
 
     def record_transfer(self, source: str, rows: int, size: int) -> None:
         """Record *rows* rows / *size* bytes received from *source*."""
-        self.rows_transferred[source] += rows
-        self.bytes_transferred[source] += size
+        with self._lock:
+            self.rows_transferred[source] += rows
+            self.bytes_transferred[source] += size
 
     def record_call(self, source: str) -> None:
         """Record one round trip to *source*."""
-        self.source_calls[source] += 1
+        with self._lock:
+            self.source_calls[source] += 1
 
     def record_native(self, source: str, native: str) -> None:
         """Record the native query text a wrapper executed."""
-        self.native_queries.append((source, native))
+        with self._lock:
+            self.native_queries.append((source, native))
 
     def distinct_native_queries(self):
         """Native queries with duplicates removed, order preserved."""
@@ -73,23 +91,45 @@ class ExecutionStats:
 
     def record_retry(self, source: str) -> None:
         """Record one retry (a repeated attempt) against *source*."""
-        self.retries[source] += 1
+        with self._lock:
+            self.retries[source] += 1
 
     def record_failure(self, source: str, error: str) -> None:
         """Record one failed call to *source* with its cause."""
-        self.failures[source] += 1
-        self.last_errors[source] = error
+        with self._lock:
+            self.failures[source] += 1
+            self.last_errors[source] = error
 
     def record_dropped(self, source: str, cause: str) -> None:
         """Record that *source* was dropped from the answer (degradation).
         The first recorded cause wins — it names the original failure."""
-        self.dropped_sources.setdefault(source, cause)
-        self.degraded = True
+        with self._lock:
+            self.dropped_sources.setdefault(source, cause)
+            self.degraded = True
 
     def record_operator(self, name: str, rows_out: int) -> None:
         """Record one evaluation of operator *name* producing *rows_out* rows."""
-        self.operator_counts[name] += 1
-        self.mediator_rows += rows_out
+        with self._lock:
+            self.operator_counts[name] += 1
+            self.mediator_rows += rows_out
+
+    def record_cache_hit(self, source: str) -> None:
+        """Record one round trip to *source* avoided by the call cache."""
+        with self._lock:
+            self.cache_hits[source] += 1
+
+    def record_batched(self, avoided: int) -> None:
+        """Record *avoided* DJoin right-branch evaluations served from
+        the batch memo."""
+        if avoided <= 0:
+            return
+        with self._lock:
+            self.batched_calls += avoided
+
+    def record_parallel(self, branches: int) -> None:
+        """Record *branches* plan branches dispatched concurrently."""
+        with self._lock:
+            self.parallel_branches += branches
 
     # -- totals ---------------------------------------------------------------
 
@@ -113,6 +153,10 @@ class ExecutionStats:
     def total_failures(self) -> int:
         return sum(self.failures.values())
 
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(self.cache_hits.values())
+
     def as_dict(self) -> Dict[str, object]:
         """Plain-dictionary summary, convenient for benchmark reports."""
         return {
@@ -128,6 +172,10 @@ class ExecutionStats:
             "failures": dict(self.failures),
             "dropped_sources": dict(self.dropped_sources),
             "degraded": self.degraded,
+            "cache_hits": dict(self.cache_hits),
+            "total_cache_hits": self.total_cache_hits,
+            "batched_calls": self.batched_calls,
+            "parallel_branches": self.parallel_branches,
         }
 
     def summary(self) -> str:
@@ -148,6 +196,12 @@ class ExecutionStats:
             f"{name}×{count}" for name, count in sorted(self.operator_counts.items())
         )
         lines.append(f"operators: {ops}")
+        if self.total_cache_hits or self.batched_calls or self.parallel_branches:
+            lines.append(
+                f"scheduler: {self.total_cache_hits} cache hits, "
+                f"{self.batched_calls} batched calls, "
+                f"{self.parallel_branches} parallel branches"
+            )
         if self.total_failures or self.total_retries:
             lines.append(
                 f"resilience: {self.total_failures} failed calls, "

@@ -1,5 +1,6 @@
 """The YAT mediator (paper, Section 2, Figure 2)."""
 
+from repro.core.algebra.scheduling import ExecutionPolicy
 from repro.mediator.catalog import Catalog
 from repro.mediator.execution import ExecutionReport, run_plan
 from repro.mediator.mediator import Mediator, QueryResult
@@ -14,6 +15,7 @@ from repro.mediator.views import VIEW_SOURCE, ViewRegistry
 __all__ = [
     "Catalog",
     "CircuitBreaker",
+    "ExecutionPolicy",
     "ExecutionReport",
     "Mediator",
     "QueryResult",

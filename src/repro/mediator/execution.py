@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.errors import ExecutionReportError
 from repro.core.algebra.evaluator import Environment, SourceAdapter, evaluate
 from repro.core.algebra.operators import Plan
+from repro.core.algebra.scheduling import ExecutionPolicy
 from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Tab
 from repro.mediator.resilience import ResiliencePolicy, SourceOutcome
@@ -90,12 +91,20 @@ def run_plan(
     adapters: Dict[str, SourceAdapter],
     functions: Optional[Dict[str, Callable]] = None,
     policy: Optional[ResiliencePolicy] = None,
+    execution: Optional[ExecutionPolicy] = None,
 ) -> ExecutionReport:
     """Evaluate *plan* with fresh statistics and timing.
 
     *policy* defaults to :meth:`ResiliencePolicy.direct` — no retries, no
     breakers, fail-fast — so all existing call sites behave exactly as
     before.  Pass a retrying policy to guard the source calls.
+
+    *execution* configures the federated scheduler (parallel branch
+    dispatch, DJoin batching, source-call caching).  The default policy
+    keeps ``parallelism=1``: strictly serial evaluation order, with
+    caching and batching on — which never change the produced Tab.  Pass
+    :meth:`ExecutionPolicy.serial` for the pre-scheduler seed behavior
+    or :meth:`ExecutionPolicy.parallel` for concurrent dispatch.
     """
     if policy is None:
         policy = ResiliencePolicy.direct()
@@ -103,9 +112,12 @@ def run_plan(
     runtime = policy.start(stats)
     sources = runtime.wrap(adapters) if runtime is not None else adapters
     env = Environment(sources, functions=functions, stats=stats,
-                      resilience=runtime)
+                      resilience=runtime, policy=execution)
     started = time.perf_counter()
-    tab = evaluate(plan, env)
+    try:
+        tab = evaluate(plan, env)
+    finally:
+        env.shutdown()
     elapsed = time.perf_counter() - started
     outcomes = runtime.outcomes() if runtime is not None else ()
     return ExecutionReport(plan, tab, stats, elapsed, outcomes=outcomes)

@@ -24,6 +24,7 @@ from typing import Optional, Sequence, Tuple
 from repro.errors import UnknownDocumentError
 from repro.capabilities.interface import SourceInterface
 from repro.core.algebra.operators import Plan
+from repro.core.algebra.scheduling import ExecutionPolicy
 from repro.core.algebra.tab import Tab
 from repro.core.optimizer.bind_split import ref_is
 from repro.core.optimizer.planner import Optimizer
@@ -114,6 +115,7 @@ class Mediator:
         name: str = "yat",
         gate_information_passing: bool = False,
         policy: Optional[ResiliencePolicy] = None,
+        execution: Optional[ExecutionPolicy] = None,
     ) -> None:
         self.name = name
         self.catalog = Catalog()
@@ -125,6 +127,10 @@ class Mediator:
         #: Resilience policy used by :meth:`execute` / :meth:`query` unless
         #: overridden per call; ``None`` means fail-fast (direct).
         self.policy = policy
+        #: Federated scheduler policy (parallelism, DJoin batching,
+        #: source-call caching); ``None`` means the default
+        #: :class:`ExecutionPolicy` — serial order, cache and batching on.
+        self.execution = execution
         self.functions = {
             "ref_is": ref_is,
             "contains": _mediator_contains,
@@ -273,26 +279,33 @@ class Mediator:
         optimize: bool = True,
         rounds: Sequence[int] = (1, 2, 3),
         policy: Optional[ResiliencePolicy] = None,
+        execution: Optional[ExecutionPolicy] = None,
     ) -> QueryResult:
         """Parse, plan, optimize and evaluate a YAT_L query."""
         parsed = parse_query(text)
         naive, optimized, trace = self.plan_query(
             parsed, optimize=optimize, rounds=rounds
         )
-        report = self.execute(optimized, policy=policy)
+        report = self.execute(optimized, policy=policy, execution=execution)
         return QueryResult(naive, optimized, trace, report)
 
     def execute(
-        self, plan: Plan, policy: Optional[ResiliencePolicy] = None
+        self,
+        plan: Plan,
+        policy: Optional[ResiliencePolicy] = None,
+        execution: Optional[ExecutionPolicy] = None,
     ) -> ExecutionReport:
         """Evaluate an already-planned query with fresh statistics.
 
         *policy* (or the mediator-wide default given at construction)
         guards every source call; absent both, execution is fail-fast.
+        *execution* (or the mediator-wide default) configures the
+        federated scheduler — see :func:`run_plan`.
         """
         return run_plan(
             plan,
             self.catalog.adapters(),
             functions=self.functions,
             policy=policy if policy is not None else self.policy,
+            execution=execution if execution is not None else self.execution,
         )

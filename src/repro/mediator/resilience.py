@@ -28,6 +28,7 @@ Clocks and sleeping are injectable so tests drive time with a
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from typing import Callable, Dict, Optional, Tuple, TypeVar
 
@@ -247,11 +248,18 @@ class ResiliencePolicy:
 
 
 class PolicyRuntime:
-    """Mutable per-query state: breakers, deadline, per-source records."""
+    """Mutable per-query state: breakers, deadline, per-source records.
+
+    Safe under concurrent wrapped calls: breaker transitions and the
+    per-source counters are guarded by one re-entrant lock, while the
+    source call itself (and any backoff sleep) runs outside it — a slow
+    source never serializes calls to other sources.
+    """
 
     def __init__(self, policy: ResiliencePolicy, stats: ExecutionStats) -> None:
         self.policy = policy
         self.stats = stats
+        self._lock = threading.RLock()
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._calls: Dict[str, int] = {}
         self._errors: Dict[str, str] = {}
@@ -276,14 +284,15 @@ class PolicyRuntime:
         }
 
     def breaker(self, source: str) -> CircuitBreaker:
-        breaker = self._breakers.get(source)
-        if breaker is None:
-            breaker = CircuitBreaker(
-                self.policy.circuit_failure_threshold,
-                self.policy.circuit_recovery_time,
-            )
-            self._breakers[source] = breaker
-        return breaker
+        with self._lock:
+            breaker = self._breakers.get(source)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.policy.circuit_failure_threshold,
+                    self.policy.circuit_recovery_time,
+                )
+                self._breakers[source] = breaker
+            return breaker
 
     # -- deadlines ------------------------------------------------------------
 
@@ -304,12 +313,16 @@ class PolicyRuntime:
         """
         self.check_deadline()
         breaker = self.breaker(source)
-        if not breaker.allow(self.policy.clock()):
+        with self._lock:
+            allowed = breaker.allow(self.policy.clock())
+            if not allowed:
+                self._errors.setdefault(source, "circuit open")
+                consecutive = breaker.consecutive_failures
+        if not allowed:
             self.stats.record_failure(source, "circuit open")
-            self._errors.setdefault(source, "circuit open")
             raise SourceUnavailableError(
                 f"source {source!r} is unavailable: circuit open after "
-                f"{breaker.consecutive_failures} consecutive failures",
+                f"{consecutive} consecutive failures",
                 source=source,
             )
         retry = self.policy.retry
@@ -320,7 +333,8 @@ class PolicyRuntime:
             attempt += 1
             self.check_deadline()
             started = self.policy.clock()
-            self._calls[source] = self._calls.get(source, 0) + 1
+            with self._lock:
+                self._calls[source] = self._calls.get(source, 0) + 1
             try:
                 result = thunk()
             except SourceUnavailableError:
@@ -338,17 +352,20 @@ class PolicyRuntime:
                         f"(budget {self.policy.call_timeout:.3f}s)"
                     )
                 else:
-                    breaker.record_success()
+                    with self._lock:
+                        breaker.record_success()
                     self.check_deadline()
                     return result
             # One attempt failed (error or per-call timeout).
             self.stats.record_failure(source, str(last_error))
-            self._errors[source] = str(last_error)
-            breaker.record_failure(self.policy.clock())
+            with self._lock:
+                self._errors[source] = str(last_error)
+                breaker.record_failure(self.policy.clock())
+                breaker_open = breaker.state == OPEN
             if (
                 attempt >= max_attempts
                 or not RetryPolicy.is_retryable(last_error)
-                or breaker.state == OPEN
+                or breaker_open
             ):
                 break
             self.stats.record_retry(source)
@@ -363,30 +380,32 @@ class PolicyRuntime:
     # -- degradation ------------------------------------------------------------
 
     def record_dropped(self, source: str, cause: str) -> None:
-        self._errors.setdefault(source, cause)
+        with self._lock:
+            self._errors.setdefault(source, cause)
         self.stats.record_dropped(source, cause)
 
     # -- reporting ---------------------------------------------------------------
 
     def outcomes(self) -> Tuple[SourceOutcome, ...]:
         """Per-source records for every source this runtime touched."""
-        sources = set(self._calls) | set(self._breakers) | set(self._errors)
-        sources |= set(self.stats.dropped_sources)
-        records = []
-        for source in sorted(sources):
-            breaker = self._breakers.get(source)
-            records.append(
-                SourceOutcome(
-                    source,
-                    calls=self._calls.get(source, 0),
-                    retries=self.stats.retries.get(source, 0),
-                    failures=self.stats.failures.get(source, 0),
-                    circuit=breaker.state if breaker is not None else CLOSED,
-                    dropped=source in self.stats.dropped_sources,
-                    error=self._errors.get(source),
+        with self._lock:
+            sources = set(self._calls) | set(self._breakers) | set(self._errors)
+            sources |= set(self.stats.dropped_sources)
+            records = []
+            for source in sorted(sources):
+                breaker = self._breakers.get(source)
+                records.append(
+                    SourceOutcome(
+                        source,
+                        calls=self._calls.get(source, 0),
+                        retries=self.stats.retries.get(source, 0),
+                        failures=self.stats.failures.get(source, 0),
+                        circuit=breaker.state if breaker is not None else CLOSED,
+                        dropped=source in self.stats.dropped_sources,
+                        error=self._errors.get(source),
+                    )
                 )
-            )
-        return tuple(records)
+            return tuple(records)
 
 
 class ResilientAdapter(SourceAdapter):
@@ -407,6 +426,9 @@ class ResilientAdapter(SourceAdapter):
 
     def document_names(self) -> Tuple[str, ...]:
         return self.inner.document_names()
+
+    def document_name_set(self) -> frozenset:
+        return self.inner.document_name_set()
 
     def document(self, name: str) -> DataNode:
         return self.runtime.call(

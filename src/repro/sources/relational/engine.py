@@ -18,6 +18,7 @@ level less, since rows are flat)::
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import SqlSourceError
@@ -83,7 +84,11 @@ class SqlDatabase:
 
     def __init__(self, name: str = "sqlsource") -> None:
         self.name = name
-        self._connection = sqlite3.connect(":memory:")
+        # One shared connection, serialized by our own lock: parallel
+        # plan branches may push SQL from pool threads, and sqlite3's
+        # same-thread check would otherwise reject them.
+        self._connection = sqlite3.connect(":memory:", check_same_thread=False)
+        self._query_lock = threading.Lock()
         self._tables: Dict[str, SqlTable] = {}
 
     def close(self) -> None:
@@ -139,12 +144,13 @@ class SqlDatabase:
         self, sql: str, params: Sequence[object] = ()
     ) -> List[Dict[str, object]]:
         """Run a SELECT and return rows as dictionaries."""
-        try:
-            cursor = self._connection.execute(sql, tuple(params))
-        except sqlite3.Error as exc:
-            raise SqlSourceError(f"SQL error: {exc} in {sql!r}") from exc
-        names = [description[0] for description in cursor.description]
-        return [dict(zip(names, row)) for row in cursor.fetchall()]
+        with self._query_lock:
+            try:
+                cursor = self._connection.execute(sql, tuple(params))
+            except sqlite3.Error as exc:
+                raise SqlSourceError(f"SQL error: {exc} in {sql!r}") from exc
+            names = [description[0] for description in cursor.description]
+            return [dict(zip(names, row)) for row in cursor.fetchall()]
 
     def row_count(self, table_name: str) -> int:
         table = self.table(table_name)

@@ -26,6 +26,7 @@ faults and deadline tests run instantly and deterministically.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from collections import Counter
 from typing import Callable, Dict, List, Optional, Tuple
@@ -233,18 +234,27 @@ class FaultInjector:
     ) -> None:
         self.source = source
         self.schedule = schedule
+        self._lock = threading.Lock()
         self.call_counts: Counter = Counter()
         self.injected: List[Tuple[str, int, str]] = []
         self._sleep = sleep if sleep is not None else time.sleep
 
     def before(self, operation: str) -> None:
-        """Consume one call slot for *operation*; sleep and/or raise."""
-        index = self.call_counts[operation]
-        self.call_counts[operation] += 1
-        fault = self.schedule.fault_for(operation, index)
+        """Consume one call slot for *operation*; sleep and/or raise.
+
+        Call-slot allocation and the injection log are guarded by a lock
+        (parallel branches may hit one injector concurrently); the
+        latency sleep happens outside it so injected delays overlap the
+        way real source latency does.
+        """
+        with self._lock:
+            index = self.call_counts[operation]
+            self.call_counts[operation] += 1
+            fault = self.schedule.fault_for(operation, index)
+            if fault is not None:
+                self.injected.append((operation, index, fault.kind))
         if fault is None:
             return
-        self.injected.append((operation, index, fault.kind))
         if fault.latency:
             self._sleep(fault.latency)
         if fault.kind != LATENCY:
@@ -276,6 +286,9 @@ class FaultyAdapter(SourceAdapter):
 
     def document_names(self) -> Tuple[str, ...]:
         return self.inner.document_names()
+
+    def document_name_set(self) -> frozenset:
+        return self.inner.document_name_set()
 
     def document(self, name: str) -> DataNode:
         self.injector.before("document")

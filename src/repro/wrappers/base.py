@@ -110,6 +110,18 @@ class Wrapper(SourceAdapter):
     def __init__(self, name: str) -> None:
         self.name = name
         self._interface: Optional[SourceInterface] = None
+        self._document_name_set: Optional[frozenset] = None
+
+    def document_name_set(self) -> frozenset:
+        """Exported document names as a set, cached after the first call.
+
+        ``SourceOp`` evaluation checks membership here on every
+        evaluation; wrappers export a fixed document list, so scanning
+        the tuple each time is pure waste.
+        """
+        if self._document_name_set is None:
+            self._document_name_set = frozenset(self.document_names())
+        return self._document_name_set
 
     # -- capability export -------------------------------------------------------
 

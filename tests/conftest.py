@@ -2,12 +2,40 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro import Mediator, O2Wrapper, WaisWrapper
 from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT, small_figure1_pair
 
 __all__ = ["Q1", "Q2", "VIEW1_YAT", "build_mediator"]
+
+
+@pytest.fixture
+def deadlock_guard():
+    """Fail (rather than hang) if a test wedges the scheduler.
+
+    SIGALRM-based: no third-party timeout plugin required.  Tests that
+    exercise the thread pool opt in with
+    ``pytest.mark.usefixtures("deadlock_guard")`` — a deadlocked
+    :class:`~repro.core.algebra.scheduling.PlanScheduler` then raises in
+    the main thread instead of hanging the whole tier-1 run.
+    """
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _timeout(signum, frame):
+        raise TimeoutError("deadlock_guard: test exceeded 60s (scheduler hang?)")
+
+    previous = signal.signal(signal.SIGALRM, _timeout)
+    signal.alarm(60)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def build_mediator(database, store) -> Mediator:

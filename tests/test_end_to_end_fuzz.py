@@ -4,12 +4,16 @@ The single most important invariant of the whole system: for any
 dataset shape and any of the paper's queries, the three-round optimizer
 (gated or not) never changes the answer.  Hypothesis drives dataset
 parameters; every failure here is a soundness bug in some rewrite.
+
+The second differential (TestSchedulerSoundness) fuzzes the federated
+execution scheduler the same way: caching, DJoin batching and parallel
+dispatch may change call counts and wall-clock, never the answer.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Mediator, O2Wrapper, WaisWrapper
+from repro import ExecutionPolicy, Mediator, O2Wrapper, WaisWrapper
 from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT
 
 QUERIES = {"Q1": Q1, "Q2": Q2}
@@ -26,9 +30,9 @@ datasets = st.fixed_dictionaries(
 )
 
 
-def build(params, declare_containment):
+def build(params, declare_containment, execution=None):
     database, store = CulturalDataset(**params).build()
-    mediator = Mediator()
+    mediator = Mediator(execution=execution)
     mediator.connect(O2Wrapper("o2artifact", database))
     mediator.connect(WaisWrapper("xmlartwork", store))
     if declare_containment:
@@ -80,3 +84,41 @@ class TestOptimizerSoundness:
             mediator.query(Q2).document()
             == mediator.query(Q2, optimize=False).document()
         )
+
+
+class TestSchedulerSoundness:
+    """Serial-vs-cached-vs-parallel differential over the figure queries.
+
+    The pre-scheduler seed semantics (``ExecutionPolicy.serial()``) is
+    the reference; the default policy (cache + batching) and a parallel
+    policy must produce the identical document for every dataset shape.
+    """
+
+    POLICIES = (ExecutionPolicy(), ExecutionPolicy.parallel(4))
+
+    @given(params=datasets, optimize=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_q2_scheduler_policies_agree(self, params, optimize):
+        reference = build(
+            params, declare_containment=False,
+            execution=ExecutionPolicy.serial(),
+        ).query(Q2, optimize=optimize).document()
+        for execution in self.POLICIES:
+            mediator = build(
+                params, declare_containment=False, execution=execution
+            )
+            assert mediator.query(Q2, optimize=optimize).document() == reference
+
+    @given(params=datasets, optimize=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_q1_scheduler_policies_agree(self, params, optimize):
+        params = dict(params, extra_works=0)
+        reference = build(
+            params, declare_containment=True,
+            execution=ExecutionPolicy.serial(),
+        ).query(Q1, optimize=optimize).document()
+        for execution in self.POLICIES:
+            mediator = build(
+                params, declare_containment=True, execution=execution
+            )
+            assert mediator.query(Q1, optimize=optimize).document() == reference
