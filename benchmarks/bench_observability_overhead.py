@@ -1,0 +1,99 @@
+"""O1: cost of the observability hooks, off and on.
+
+Every tracing hook in the evaluator, scheduler, resilience layer and
+wrappers is a single ``tracer is None`` test on the default path, so the
+disabled-tracer claim to hold is: ``run_plan`` without a tracer stays
+within ~2% of the pre-instrumentation evaluator (tracked across PRs by
+the ``none`` column of the resilience overhead benchmark, which predates
+the hooks).  This module measures both sides directly:
+
+* ``off``    — ``run_plan`` with ``tracer=None`` (the default path);
+* ``traced`` — the same plan under a fresh :class:`~repro.observability.Tracer`
+  capturing one span per operator evaluation and source call.
+
+Run:  PYTHONPATH=src python benchmarks/bench_observability_overhead.py
+"""
+
+import time
+
+import pytest
+
+from repro import Tracer
+from repro.mediator.execution import run_plan
+
+try:
+    from benchmarks.bench_resilience_overhead import build_adapters, q1_union_plan
+except ImportError:
+    from bench_resilience_overhead import build_adapters, q1_union_plan
+
+SIZES = {"small": 25, "medium": 100}
+
+
+def overhead_rows(sizes=(25, 100), repeats=10):
+    """``(n, {mode: best seconds}, traced_overhead_pct, spans)`` per size."""
+    plan = q1_union_plan()
+    rows = []
+    for n in sizes:
+        adapters = build_adapters(n)
+        timings = {}
+        spans = 0
+        for label in ("off", "traced"):
+            best = None
+            for _ in range(repeats):
+                tracer = Tracer() if label == "traced" else None
+                start = time.perf_counter()
+                report = run_plan(plan, adapters, tracer=tracer)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+                if tracer is not None:
+                    spans = len(tracer)
+            assert len(report.tab) > 0
+            timings[label] = best
+        overhead = 100.0 * (timings["traced"] / timings["off"] - 1.0)
+        rows.append((n, timings, overhead, spans))
+    return rows
+
+
+def differential_check(n=40):
+    """Tracing on/off must produce identical rows (asserted, not timed)."""
+    plan = q1_union_plan()
+    adapters = build_adapters(n)
+    off = run_plan(plan, adapters)
+    traced = run_plan(plan, adapters, tracer=Tracer())
+    assert off.tab.columns == traced.tab.columns
+    assert [r.cells for r in off.tab.rows] == [r.cells for r in traced.tab.rows]
+    return len(off.tab)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.parametrize("mode", ["off", "traced"])
+def test_tracer_overhead(benchmark, size, mode):
+    adapters = build_adapters(SIZES[size])
+    plan = q1_union_plan()
+
+    def run():
+        tracer = Tracer() if mode == "traced" else None
+        return run_plan(plan, adapters, tracer=tracer)
+
+    report = benchmark(run)
+    benchmark.extra_info.update(
+        n_artifacts=SIZES[size], mode=mode, rows=len(report.tab)
+    )
+
+
+def main():
+    rows_identical = differential_check()
+    print("observability hook overhead (Q1 union plan)")
+    print(f"tracing on/off differential: {rows_identical} identical rows")
+    print(f"{'n':>5} {'off ms':>9} {'traced ms':>10} {'overhead':>9} {'spans':>6}")
+    for n, timings, overhead, spans in overhead_rows():
+        print(f"{n:5d} {timings['off'] * 1e3:9.2f} "
+              f"{timings['traced'] * 1e3:10.2f} {overhead:8.1f}% {spans:6d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,12 @@ from repro.mediator import (
     ResiliencePolicy,
     RetryPolicy,
 )
+from repro.observability import (
+    Explanation,
+    MetricsRegistry,
+    Tracer,
+    record_execution,
+)
 from repro.wrappers import O2Wrapper, SqlWrapper, WaisWrapper
 from repro.yatl import parse_program, parse_query
 
@@ -38,7 +44,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ExecutionPolicy",
+    "Explanation",
     "Mediator",
+    "MetricsRegistry",
     "O2Wrapper",
     "Optimizer",
     "OptimizerContext",
@@ -46,10 +54,12 @@ __all__ = [
     "ResiliencePolicy",
     "RetryPolicy",
     "SqlWrapper",
+    "Tracer",
     "WaisWrapper",
     "evaluate",
     "optimize",
     "parse_program",
     "parse_query",
+    "record_execution",
     "__version__",
 ]

@@ -118,6 +118,7 @@ class Environment:
         skolems: Optional[SkolemRegistry] = None,
         resilience=None,
         policy: Optional[ExecutionPolicy] = None,
+        tracer=None,
     ) -> None:
         self.sources = dict(sources)
         self.functions = dict(functions or {})
@@ -127,6 +128,10 @@ class Environment:
         #: when set and permitting partial results, Union branches and
         #: ident indexes of unavailable sources degrade instead of failing.
         self.resilience = resilience
+        #: Optional :class:`~repro.observability.tracer.Tracer`.  ``None``
+        #: (the default) keeps the untraced fast path: every hook in this
+        #: module is a single attribute read plus an ``is None`` test.
+        self.tracer = tracer
         #: Federated scheduling knobs; the default keeps evaluation
         #: strictly serial (parallelism=1) with caching and batching on.
         self.policy = policy if policy is not None else ExecutionPolicy()
@@ -208,6 +213,25 @@ def evaluate(plan: Plan, env: Environment, outer: Optional[Row] = None) -> Tab:
 
 
 def _evaluate(plan: Plan, env: Environment, outer: Optional[Row]) -> Tab:
+    tracer = env.tracer
+    if tracer is None:
+        return _dispatch(plan, env, outer)
+    # One span per operator evaluation.  ``node`` keys per-node actuals
+    # for EXPLAIN ANALYZE (the plan object outlives the execution);
+    # ``_eval_source`` / ``_eval_pushed`` annotate the open span with
+    # transfer details while it is current on this thread.
+    with tracer.start(
+        plan.describe(),
+        kind="operator",
+        operator=plan.operator_name(),
+        node=id(plan),
+    ) as span:
+        tab = _dispatch(plan, env, outer)
+        span.annotate(rows=len(tab))
+        return tab
+
+
+def _dispatch(plan: Plan, env: Environment, outer: Optional[Row]) -> Tab:
     if isinstance(plan, UnitOp):
         return Tab((), [Row((), ())])
     if isinstance(plan, LiteralOp):
@@ -264,13 +288,18 @@ def _eval_source(plan: SourceOp, env: Environment) -> Tab:
         if found:
             env.stats.record_cache_hit(plan.source)
             env.stats.record_operator("Source", 1)
+            if env.tracer is not None:
+                env.tracer.annotate(source=plan.source, cache_hits=1)
             return Tab((plan.document,), [Row((plan.document,), (root,))])
     root = adapter.document(plan.document)
     if cache is not None:
         cache.store(key, root)
+    size = serialized_size(root)
     env.stats.record_call(plan.source)
-    env.stats.record_transfer(plan.source, rows=1, size=serialized_size(root))
+    env.stats.record_transfer(plan.source, rows=1, size=size)
     env.stats.record_operator("Source", 1)
+    if env.tracer is not None:
+        env.tracer.annotate(source=plan.source, calls=1, bytes=size)
     return Tab((plan.document,), [Row((plan.document,), (root,))])
 
 
@@ -291,14 +320,19 @@ def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
         if found:
             env.stats.record_cache_hit(plan.source)
             env.stats.record_operator("Pushed", len(tab))
+            if env.tracer is not None:
+                env.tracer.annotate(source=plan.source, cache_hits=1)
             return tab
     tab, native = adapter.execute_pushed(plan.plan, outer)
     if cache is not None:
         cache.store(key, tab)
+    size = tab_serialized_size(tab)
     env.stats.record_native(plan.source, native)
     env.stats.record_call(plan.source)
-    env.stats.record_transfer(plan.source, rows=len(tab), size=tab_serialized_size(tab))
+    env.stats.record_transfer(plan.source, rows=len(tab), size=size)
     env.stats.record_operator("Pushed", len(tab))
+    if env.tracer is not None:
+        env.tracer.annotate(source=plan.source, calls=1, bytes=size, native=native)
     return tab
 
 
@@ -491,7 +525,8 @@ def _eval_pair(
         [
             lambda: _evaluate(left_plan, env, outer),
             lambda: _evaluate(right_plan, env, outer),
-        ]
+        ],
+        tracer=env.tracer,
     )
     env.stats.record_parallel(2)
     for value, error in outcomes:
@@ -648,7 +683,10 @@ def _eval_djoin(plan: DJoinOp, env: Environment, outer: Optional[Row]) -> Tab:
         keys.append(key)
         if key not in representative:
             representative[key] = inner_outer
-    env.stats.record_batched(len(left.rows) - len(representative))
+    avoided = len(left.rows) - len(representative)
+    env.stats.record_batched(avoided)
+    if env.tracer is not None and avoided > 0:
+        env.tracer.annotate(batched=avoided)
     order = list(representative)
     scheduler = env.scheduler() if len(order) > 1 else None
     tabs: Dict[tuple, Tab] = {}
@@ -657,7 +695,8 @@ def _eval_djoin(plan: DJoinOp, env: Environment, outer: Optional[Row]) -> Tab:
             [
                 lambda o=representative[key]: _evaluate(plan.right, env, o)
                 for key in order
-            ]
+            ],
+            tracer=env.tracer,
         )
         env.stats.record_parallel(len(order))
         for key, (tab, error) in zip(order, outcomes):
@@ -697,7 +736,8 @@ def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
             [
                 lambda: _evaluate(plan.left, env, outer),
                 lambda: _evaluate(plan.right, env, outer),
-            ]
+            ],
+            tracer=env.tracer,
         )
         env.stats.record_parallel(2)
 
@@ -725,6 +765,8 @@ def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
             env.resilience.record_dropped(
                 failed, f"union branch over [{involved}] dropped: {error}"
             )
+            if env.tracer is not None:
+                env.tracer.annotate(dropped=failed)
             last_error = error
             branches.append(None)
     left, right = branches

@@ -116,14 +116,23 @@ class PlanScheduler:
             max_workers=parallelism, thread_name_prefix="yat-exec"
         )
 
-    def run(self, thunks: Sequence[Callable[[], object]]) -> List[tuple]:
+    def run(
+        self, thunks: Sequence[Callable[[], object]], tracer=None
+    ) -> List[tuple]:
         """Evaluate *thunks*, returning ``(value, error)`` pairs in order.
 
         Exactly one of the pair is ``None``; errors are captured rather
         than raised so the caller can apply its own propagation order
         (the evaluator prefers the leftmost branch's error, matching
         serial semantics).
+
+        When *tracer* is given, each thunk is bound to the dispatching
+        thread's open span (:meth:`~repro.observability.tracer.Tracer.bind`),
+        so spans created on pool threads — or inline on the reclaim
+        path — parent exactly as they would under serial evaluation.
         """
+        if tracer is not None:
+            thunks = [tracer.bind(thunk) for thunk in thunks]
         futures = [self._executor.submit(_capture, thunk) for thunk in thunks]
         results: List[tuple] = []
         for future, thunk in zip(futures, thunks):

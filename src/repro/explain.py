@@ -1,0 +1,134 @@
+"""EXPLAIN / EXPLAIN ANALYZE from the command line.
+
+Runs the paper's cultural-portal federation (the O2 object base plus the
+Wais full-text store behind ``view1.yat``) and explains a query against
+it::
+
+    python -m repro.explain q2 --analyze
+    python -m repro.explain q1 --analyze --parallelism 4 --chrome-trace q1.json
+    python -m repro.explain my_query.yat --no-optimize
+    echo 'MAKE $t MATCH artworks WITH ...' | python -m repro.explain - --analyze
+
+``q1`` / ``q2`` name the paper's Figure 8 / Figure 9 queries; anything
+else is a path to a YAT_L query file (``-`` reads stdin).  With
+``--analyze`` the plan is executed and every node shows its actuals;
+``--chrome-trace`` additionally writes the span trace for
+``chrome://tracing`` / Perfetto, and ``--metrics`` writes (or prints,
+with ``-``) the Prometheus exposition of the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT
+from repro.mediator.mediator import Mediator
+from repro.core.algebra.scheduling import ExecutionPolicy
+from repro.observability.metrics import MetricsRegistry, record_execution
+from repro.wrappers.o2_wrapper import O2Wrapper
+from repro.wrappers.wais_wrapper import WaisWrapper
+
+NAMED_QUERIES = {"q1": Q1, "q2": Q2}
+
+
+def build_mediator(n_artifacts: int, seed: int) -> Mediator:
+    """The paper's running federation, sized for demonstration."""
+    database, store = CulturalDataset(n_artifacts=n_artifacts, seed=seed).build()
+    mediator = Mediator()
+    mediator.connect(O2Wrapper("o2artifact", database))
+    mediator.connect(WaisWrapper("xmlartwork", store))
+    mediator.declare_containment("artworks", "artifacts")
+    mediator.load_program(VIEW1_YAT)
+    return mediator
+
+
+def load_query(spec: str) -> str:
+    if spec.lower() in NAMED_QUERIES:
+        return NAMED_QUERIES[spec.lower()]
+    if spec == "-":
+        return sys.stdin.read()
+    with open(spec, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explain",
+        description="Explain a YAT_L query over the paper's demo federation.",
+    )
+    parser.add_argument(
+        "query", nargs="?", default="q2",
+        help="q1, q2, a .yat file path, or - for stdin (default: q2)",
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="execute the plan and annotate every node with its actuals",
+    )
+    parser.add_argument(
+        "--n", type=int, default=100, metavar="N",
+        help="synthetic dataset size in artifacts (default: 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="dataset seed (default: 1)"
+    )
+    parser.add_argument(
+        "--no-optimize", action="store_true",
+        help="explain the naive plan instead of the optimized one",
+    )
+    parser.add_argument(
+        "--rounds", default="1,2,3", metavar="R[,R...]",
+        help="optimizer rounds to apply (default: 1,2,3)",
+    )
+    parser.add_argument(
+        "--parallelism", type=int, default=1, metavar="K",
+        help="scheduler parallelism for --analyze (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="PATH",
+        help="with --analyze: write the span trace as Chrome-trace JSON",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="with --analyze: write the Prometheus exposition (- for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        text = load_query(args.query)
+    except OSError as error:
+        parser.error(f"cannot read query {args.query!r}: {error}")
+    rounds = tuple(int(r) for r in args.rounds.split(",") if r.strip())
+
+    mediator = build_mediator(args.n, args.seed)
+    execution = (
+        ExecutionPolicy.parallel(args.parallelism)
+        if args.parallelism > 1
+        else None
+    )
+    explanation = mediator.explain(
+        text,
+        analyze=args.analyze,
+        optimize=not args.no_optimize,
+        rounds=rounds,
+        execution=execution,
+    )
+    print(explanation.render())
+
+    if args.analyze and args.chrome_trace:
+        explanation.tracer.write_chrome_trace(args.chrome_trace)
+        print(f"\nchrome trace written to {args.chrome_trace}", file=sys.stderr)
+    if args.analyze and args.metrics:
+        registry = MetricsRegistry()
+        record_execution(registry, explanation.report, query=args.query)
+        if args.metrics == "-":
+            print()
+            print(registry.exposition(), end="")
+        else:
+            registry.write(args.metrics)
+            print(f"metrics exposition written to {args.metrics}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

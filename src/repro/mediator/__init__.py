@@ -11,8 +11,10 @@ from repro.mediator.resilience import (
     SourceOutcome,
 )
 from repro.mediator.views import VIEW_SOURCE, ViewRegistry
+from repro.observability.explain import Explanation
 
 __all__ = [
+    "Explanation",
     "Catalog",
     "CircuitBreaker",
     "ExecutionPolicy",

@@ -26,12 +26,13 @@ from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Tab
 from repro.mediator.resilience import ResiliencePolicy, SourceOutcome
 from repro.model.trees import DataNode
+from repro.observability.context import activate_tracer
 
 
 class ExecutionReport:
     """Outcome of one plan execution."""
 
-    __slots__ = ("plan", "tab", "stats", "elapsed", "outcomes")
+    __slots__ = ("plan", "tab", "stats", "elapsed", "outcomes", "trace")
 
     def __init__(
         self,
@@ -40,6 +41,7 @@ class ExecutionReport:
         stats: ExecutionStats,
         elapsed: float,
         outcomes: Tuple[SourceOutcome, ...] = (),
+        trace=None,
     ) -> None:
         self.plan = plan
         self.tab = tab
@@ -47,6 +49,9 @@ class ExecutionReport:
         self.elapsed = elapsed
         #: Per-source resilience records (empty under the direct policy).
         self.outcomes = outcomes
+        #: The :class:`~repro.observability.tracer.Tracer` that observed
+        #: this execution, or ``None`` when tracing was off.
+        self.trace = trace
 
     @property
     def degraded(self) -> bool:
@@ -92,6 +97,7 @@ def run_plan(
     functions: Optional[Dict[str, Callable]] = None,
     policy: Optional[ResiliencePolicy] = None,
     execution: Optional[ExecutionPolicy] = None,
+    tracer=None,
 ) -> ExecutionReport:
     """Evaluate *plan* with fresh statistics and timing.
 
@@ -105,19 +111,34 @@ def run_plan(
     caching and batching on — which never change the produced Tab.  Pass
     :meth:`ExecutionPolicy.serial` for the pre-scheduler seed behavior
     or :meth:`ExecutionPolicy.parallel` for concurrent dispatch.
+
+    *tracer* (a :class:`~repro.observability.tracer.Tracer`) records one
+    hierarchical span per operator evaluation, guarded source call and
+    wrapper-side native run; the tracer is attached to the report as
+    ``report.trace``.  ``None`` — the default — keeps the untraced fast
+    path and changes nothing.
     """
     if policy is None:
         policy = ResiliencePolicy.direct()
     stats = ExecutionStats()
-    runtime = policy.start(stats)
+    runtime = policy.start(stats, tracer=tracer)
     sources = runtime.wrap(adapters) if runtime is not None else adapters
     env = Environment(sources, functions=functions, stats=stats,
-                      resilience=runtime, policy=execution)
+                      resilience=runtime, policy=execution, tracer=tracer)
     started = time.perf_counter()
     try:
-        tab = evaluate(plan, env)
+        if tracer is None:
+            tab = evaluate(plan, env)
+        else:
+            with activate_tracer(tracer), tracer.start(
+                "execute", kind="execution"
+            ) as root:
+                tab = evaluate(plan, env)
+                root.annotate(rows=len(tab))
     finally:
         env.shutdown()
     elapsed = time.perf_counter() - started
     outcomes = runtime.outcomes() if runtime is not None else ()
-    return ExecutionReport(plan, tab, stats, elapsed, outcomes=outcomes)
+    return ExecutionReport(
+        plan, tab, stats, elapsed, outcomes=outcomes, trace=tracer
+    )

@@ -280,27 +280,75 @@ class Mediator:
         rounds: Sequence[int] = (1, 2, 3),
         policy: Optional[ResiliencePolicy] = None,
         execution: Optional[ExecutionPolicy] = None,
+        tracer=None,
     ) -> QueryResult:
         """Parse, plan, optimize and evaluate a YAT_L query."""
         parsed = parse_query(text)
         naive, optimized, trace = self.plan_query(
             parsed, optimize=optimize, rounds=rounds
         )
-        report = self.execute(optimized, policy=policy, execution=execution)
+        report = self.execute(
+            optimized, policy=policy, execution=execution, tracer=tracer
+        )
         return QueryResult(naive, optimized, trace, report)
+
+    def explain(
+        self,
+        text: str,
+        analyze: bool = False,
+        optimize: bool = True,
+        rounds: Sequence[int] = (1, 2, 3),
+        policy: Optional[ResiliencePolicy] = None,
+        execution: Optional[ExecutionPolicy] = None,
+        tracer=None,
+    ):
+        """EXPLAIN (plan only) or EXPLAIN ANALYZE (plan + actuals) *text*.
+
+        Plans the query exactly as :meth:`query` would and returns an
+        :class:`~repro.observability.explain.Explanation` whose
+        ``render()`` / ``str()`` shows the optimized plan annotated with
+        the pushdown decisions (which fragments run natively, and the
+        native OQL / SQL / Wais text).  With ``analyze=True`` the plan is
+        also executed under a tracer (a fresh one unless *tracer* is
+        given) and every node is annotated with its actuals — number of
+        evaluations, rows produced, inclusive wall time, source calls,
+        bytes and cache hits.
+        """
+        from repro.observability.explain import Explanation
+        from repro.observability.tracer import Tracer
+
+        parsed = parse_query(text)
+        naive, optimized, trace = self.plan_query(
+            parsed, optimize=optimize, rounds=rounds
+        )
+        report = None
+        if analyze:
+            if tracer is None:
+                tracer = Tracer()
+            report = self.execute(
+                optimized, policy=policy, execution=execution, tracer=tracer
+            )
+        elif tracer is not None:
+            tracer = None  # a plan-only EXPLAIN never executes anything
+        return Explanation(
+            text, naive, optimized, trace, report=report, tracer=tracer
+        )
 
     def execute(
         self,
         plan: Plan,
         policy: Optional[ResiliencePolicy] = None,
         execution: Optional[ExecutionPolicy] = None,
+        tracer=None,
     ) -> ExecutionReport:
         """Evaluate an already-planned query with fresh statistics.
 
         *policy* (or the mediator-wide default given at construction)
         guards every source call; absent both, execution is fail-fast.
         *execution* (or the mediator-wide default) configures the
-        federated scheduler — see :func:`run_plan`.
+        federated scheduler — see :func:`run_plan`.  *tracer* records
+        hierarchical spans of the execution (see
+        :mod:`repro.observability`).
         """
         return run_plan(
             plan,
@@ -308,4 +356,5 @@ class Mediator:
             functions=self.functions,
             policy=policy if policy is not None else self.policy,
             execution=execution if execution is not None else self.execution,
+            tracer=tracer,
         )

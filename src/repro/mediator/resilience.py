@@ -240,11 +240,11 @@ class ResiliencePolicy:
     def is_direct(self) -> bool:
         return self._direct
 
-    def start(self, stats: ExecutionStats) -> Optional["PolicyRuntime"]:
+    def start(self, stats: ExecutionStats, tracer=None) -> Optional["PolicyRuntime"]:
         """Per-query runtime state, or ``None`` for the direct policy."""
         if self._direct:
             return None
-        return PolicyRuntime(self, stats)
+        return PolicyRuntime(self, stats, tracer=tracer)
 
 
 class PolicyRuntime:
@@ -256,9 +256,15 @@ class PolicyRuntime:
     source never serializes calls to other sources.
     """
 
-    def __init__(self, policy: ResiliencePolicy, stats: ExecutionStats) -> None:
+    def __init__(
+        self, policy: ResiliencePolicy, stats: ExecutionStats, tracer=None
+    ) -> None:
         self.policy = policy
         self.stats = stats
+        #: Optional :class:`~repro.observability.tracer.Tracer`: when set,
+        #: every guarded source call gets a ``source_call`` span recording
+        #: attempts, retries and the final error.
+        self.tracer = tracer
         self._lock = threading.RLock()
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._calls: Dict[str, int] = {}
@@ -311,6 +317,20 @@ class PolicyRuntime:
         and :class:`SourceUnavailableError` when the breaker is open or
         every attempt failed.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._guarded_call(source, operation, thunk, None)
+        with tracer.start(
+            f"{source}.{operation}",
+            kind="source_call",
+            source=source,
+            operation=operation,
+        ) as span:
+            return self._guarded_call(source, operation, thunk, span)
+
+    def _guarded_call(
+        self, source: str, operation: str, thunk: Callable[[], T], span
+    ) -> T:
         self.check_deadline()
         breaker = self.breaker(source)
         with self._lock:
@@ -331,6 +351,8 @@ class PolicyRuntime:
         attempt = 0
         while attempt < max_attempts:
             attempt += 1
+            if span is not None:
+                span.annotate(attempts=attempt)
             self.check_deadline()
             started = self.policy.clock()
             with self._lock:
@@ -369,6 +391,8 @@ class PolicyRuntime:
             ):
                 break
             self.stats.record_retry(source)
+            if span is not None:
+                span.add("retries")
             self.policy.sleep(retry.delay_for(source, attempt))
         raise SourceUnavailableError(
             f"source {source!r} is unavailable after {attempt} attempt(s): "

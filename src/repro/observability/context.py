@@ -1,0 +1,54 @@
+"""Thread-local tracer propagation.
+
+Layers that receive an :class:`~repro.core.algebra.evaluator.Environment`
+read its ``tracer`` attribute directly, but the wrapper boundary does not
+see the environment: the evaluator calls ``adapter.execute_pushed(...)``
+and the wrapper has no way to reach the tracer of the execution it is
+serving.  This module carries the active tracer in a thread-local slot —
+the same pattern OpenTelemetry uses for context propagation — so
+:mod:`repro.wrappers.base` can add wrapper-side spans without any
+signature change across the adapter protocol.
+
+``run_plan`` activates the tracer for the duration of one evaluation;
+:meth:`~repro.observability.tracer.Tracer.bind` re-activates it inside
+scheduler pool threads.  When no tracer is active, :func:`current_tracer`
+is a single thread-local attribute read returning ``None`` — the
+disabled fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.tracer import Tracer
+
+_local = threading.local()
+
+
+def current_tracer() -> Optional["Tracer"]:
+    """The tracer active on this thread, or ``None`` (tracing disabled)."""
+    return getattr(_local, "tracer", None)
+
+
+def set_tracer(tracer: Optional["Tracer"]) -> Optional["Tracer"]:
+    """Install *tracer* on this thread; returns the previous value."""
+    previous = getattr(_local, "tracer", None)
+    _local.tracer = tracer
+    return previous
+
+
+@contextmanager
+def activate_tracer(tracer: Optional["Tracer"]) -> Iterator[Optional["Tracer"]]:
+    """Make *tracer* the thread's active tracer for the ``with`` body.
+
+    ``activate_tracer(None)`` is a supported no-op shape, so callers can
+    wrap unconditionally instead of branching on whether tracing is on.
+    """
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -38,6 +38,7 @@ from repro.core.algebra.tab import Row, Tab
 from repro.core.algebra.expressions import Expr
 from repro.model.filters import Filter
 from repro.model.trees import DataNode
+from repro.observability.context import current_tracer
 
 
 class PushedFragment:
@@ -205,9 +206,26 @@ class Wrapper(SourceAdapter):
     def execute_pushed(
         self, plan: Plan, outer: Optional[Row] = None
     ) -> Tuple[Tab, str]:
-        fragment = analyze_fragment(plan, self.name)
-        self.validate_fragment(fragment)
-        return self.run_fragment(fragment, plan, outer)
+        tracer = current_tracer()
+        if tracer is None:
+            fragment = analyze_fragment(plan, self.name)
+            self.validate_fragment(fragment)
+            return self.run_fragment(fragment, plan, outer)
+        # Wrapper-side view of the pushed call: fragment analysis and
+        # capability validation are mediator-protocol work, the native
+        # run is the source's own; the span separates the two and records
+        # the generated native text.
+        with tracer.start(
+            f"wrapper:{self.name}", kind="wrapper", source=self.name
+        ) as span:
+            fragment = analyze_fragment(plan, self.name)
+            self.validate_fragment(fragment)
+            with tracer.start(
+                f"{self.name}:native", kind="native", source=self.name
+            ):
+                tab, native = self.run_fragment(fragment, plan, outer)
+            span.annotate(rows=len(tab), native=native)
+            return tab, native
 
     @abstractmethod
     def run_fragment(
