@@ -46,7 +46,11 @@ SMOKE = "--smoke" in sys.argv
 QUICK = SMOKE or "--quick" in sys.argv
 SIZES = (25,) if SMOKE else (25, 100) if QUICK else (25, 100, 400)
 FRACTIONS = (0.05, 0.3) if QUICK else (0.05, 0.15, 0.3, 0.6, 0.9)
-REPEATS = 1 if QUICK else 3
+# Five timed samples in every mode: the regression checker compares
+# smoke medians against the committed full-mode medians, and with fewer
+# samples a transient load spike on a shared CI runner pushes a median
+# past the 25% threshold.
+REPEATS = 5
 
 #: Machine-readable twin of the printed report, written to
 #: ``BENCH_report.json`` by :func:`main`.
@@ -102,6 +106,11 @@ class Timing(float):
 
 
 def timed(callable_, repeats=REPEATS):
+    # One untimed warmup first, so every mode measures the same steady
+    # state: plan-cache hits, compiled kernels and wrapper memos are part
+    # of the serving path now, and a cold first call would otherwise make
+    # the single-repeat smoke numbers incomparable to the full baseline.
+    callable_()
     samples = []
     result = None
     for _ in range(repeats):
@@ -499,6 +508,29 @@ def report_observability():
               f"{timings['traced'] * 1e3:10.2f} {overhead:8.1f}% {spans:6d}")
 
 
+def report_plan_cache():
+    banner("C1 — compile-once serving: cold planning vs warm plan-cache hits")
+    try:
+        from benchmarks.bench_plan_cache import warm_cold_rows
+    except ImportError:
+        from bench_plan_cache import warm_cold_rows
+
+    print(f"{'query':>6} {'cold ms':>9} {'warm ms':>9} {'speedup':>9} {'same':>5}")
+    for name, cold, warm, speedup, identical in warm_cold_rows(
+        n_artifacts=25, seed=1, repeats=5 if QUICK else 15
+    ):
+        assert identical, f"{name}: warm answer diverged from cold"
+        emit(
+            "plan_cache",
+            {"query": name},
+            cold_s=cold,
+            warm_s=warm,
+            speedup=speedup,
+        )
+        print(f"{name:>6} {cold * 1e3:9.2f} {warm * 1e3:9.2f} "
+              f"{speedup:8.1f}x {str(identical):>5}")
+
+
 def main():
     print("YAT reproduction — experiment report"
           + (f" ({REPORT['mode']} mode)" if QUICK else ""))
@@ -511,6 +543,7 @@ def main():
     report_resilience()
     report_parallel()
     report_observability()
+    report_plan_cache()
     out_path = Path(__file__).resolve().parent.parent / "BENCH_report.json"
     out_path.write_text(json.dumps(REPORT, indent=2) + "\n")
     print(f"\nwrote {len(REPORT['benchmarks'])} benchmark rows to {out_path.name}")

@@ -36,6 +36,7 @@ from repro.errors import (
     UnknownSourceError,
 )
 from repro.core.algebra.bind import FilterMatcher
+from repro.core.algebra.compiled import compiled_filter, compiled_predicate
 from repro.core.algebra.operators import (
     BindOp,
     DJoinOp,
@@ -141,9 +142,7 @@ class Environment:
         self._scheduler: Optional[PlanScheduler] = None
         self._ident_index: Optional[Dict[str, DataNode]] = None
         self._ident_lock = threading.Lock()
-        #: ``id(plan) -> (plan, parameters)``; the plan reference keeps
-        #: the id stable for the lifetime of the entry.
-        self._parameters: Dict[int, tuple] = {}
+        self._deref: Optional[Callable[[DataNode], DataNode]] = None
 
     def source(self, name: str) -> SourceAdapter:
         try:
@@ -171,13 +170,46 @@ class Environment:
             self._scheduler = None
 
     def plan_parameters(self, plan: Plan) -> frozenset:
-        """Outer columns *plan* observes (memoized per plan object)."""
-        entry = self._parameters.get(id(plan))
-        if entry is not None and entry[0] is plan:
-            return entry[1]
-        parameters = plan_parameters(plan)
-        self._parameters[id(plan)] = (plan, parameters)
-        return parameters
+        """Outer columns *plan* observes (memoized on the plan itself)."""
+        return plan_parameters(plan)
+
+    def plan_key(self, plan: Plan) -> tuple:
+        """``plan._key()`` memoized on the plan itself.
+
+        Cached plans outlive any one execution, so the memo lives on the
+        (immutable) plan instance rather than per environment — warm
+        plan-cache hits skip the recomputation entirely.
+        """
+        return plan.cached_key()
+
+    def deref(self) -> Callable[[DataNode], DataNode]:
+        """Reference-chasing closure over the merged ident index.
+
+        Follows reference chains exactly like ``FilterMatcher._deref``;
+        built once per execution for the compiled Bind kernels.
+        """
+        fn = self._deref
+        if fn is None:
+            index = self.ident_index()
+            if index:
+
+                def fn(node, _index=index):
+                    target = node.ref_target
+                    while target is not None:
+                        found = _index.get(target)
+                        if found is None:
+                            break
+                        node = found
+                        target = node.ref_target
+                    return node
+
+            else:
+
+                def fn(node):
+                    return node
+
+            self._deref = fn
+        return fn
 
     def ident_index(self) -> Dict[str, DataNode]:
         """Merged identifier index across all connected sources (cached).
@@ -313,7 +345,7 @@ def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
         key = (
             "pushed",
             plan.source,
-            plan.plan._key(),
+            env.plan_key(plan.plan),
             outer_binding_key(outer, env.plan_parameters(plan.plan)),
         )
         found, tab = cache.lookup(key)
@@ -342,8 +374,27 @@ def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
 
 def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
     input_tab = _evaluate(plan.input, env, outer)
-    matcher = FilterMatcher(index=env.ident_index())
-    variables = plan.filter.variables()
+    if env.policy.compile_kernels:
+        kernel = compiled_filter(plan.filter)
+        deref = env.deref()
+        variables = kernel.variables
+
+        def match_one(target):
+            return kernel.match(target, deref)
+
+        def match_many(targets):
+            return kernel.match_collection(targets, deref)
+
+    else:
+        matcher = FilterMatcher(index=env.ident_index())
+        variables = plan.filter.variables()
+
+        def match_one(target):
+            return matcher.match(target, plan.filter)
+
+        def match_many(targets):
+            return matcher.match_collection(targets, plan.filter)
+
     out_columns = tuple(
         c for c in input_tab.columns if plan.keep_on or c != plan.on
     ) + variables
@@ -351,11 +402,11 @@ def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
     for row in input_tab:
         target = _lookup(row, outer, plan.on)
         if isinstance(target, tuple):
-            bindings = matcher.match_collection(
-                [t for t in target if isinstance(t, DataNode)], plan.filter
+            bindings = match_many(
+                [t for t in target if isinstance(t, DataNode)]
             )
         elif isinstance(target, DataNode):
-            bindings = matcher.match(target, plan.filter)
+            bindings = match_one(target)
         else:
             bindings = []
         base_cells = tuple(
@@ -372,10 +423,16 @@ def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
 
 def _eval_select(plan: SelectOp, env: Environment, outer: Optional[Row]) -> Tab:
     input_tab = _evaluate(plan.input, env, outer)
+    predicate = (
+        compiled_predicate(plan.predicate)
+        if env.policy.compile_kernels
+        else plan.predicate.evaluate
+    )
+    functions = env.functions
     rows = [
         row
         for row in input_tab
-        if bool(plan.predicate.evaluate(_overlay(row, outer), env.functions))
+        if bool(predicate(_overlay(row, outer), functions))
     ]
     env.stats.record_operator("Select", len(rows))
     return Tab(input_tab.columns, rows)
@@ -428,12 +485,16 @@ def _eval_map(plan: MapOp, env: Environment, outer: Optional[Row]) -> Tab:
     input_tab = _evaluate(plan.input, env, outer)
     new_names = tuple(name for name, _e in plan.bindings)
     out_columns = input_tab.columns + new_names
+    if env.policy.compile_kernels:
+        evaluators = tuple(
+            compiled_predicate(expr) for _n, expr in plan.bindings
+        )
+    else:
+        evaluators = tuple(expr.evaluate for _n, expr in plan.bindings)
     rows = []
     for row in input_tab:
         scoped = _overlay(row, outer)
-        computed = tuple(
-            expr.evaluate(scoped, env.functions) for _n, expr in plan.bindings
-        )
+        computed = tuple(fn(scoped, env.functions) for fn in evaluators)
         rows.append(Row(out_columns, row.cells + computed))
     env.stats.record_operator("Map", len(rows))
     return Tab(out_columns, rows)
@@ -547,11 +608,16 @@ def _eval_join(plan: JoinOp, env: Environment, outer: Optional[Row]) -> Tab:
         env.stats.record_operator("Join", len(hashed))
         return Tab(out_columns, hashed)
 
+    predicate = (
+        compiled_predicate(plan.predicate)
+        if env.policy.compile_kernels
+        else plan.predicate.evaluate
+    )
     rows = []
     for lrow in left:
         for rrow in right:
             merged = Row(out_columns, lrow.cells + rrow.cells)
-            if bool(plan.predicate.evaluate(_overlay(merged, outer), env.functions)):
+            if bool(predicate(_overlay(merged, outer), env.functions)):
                 rows.append(merged)
     env.stats.record_operator("Join", len(rows))
     return Tab(out_columns, rows)

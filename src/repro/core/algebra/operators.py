@@ -24,9 +24,14 @@ from repro.model.filters import Filter
 
 
 class Plan:
-    """Base class of plan operators."""
+    """Base class of plan operators.
 
-    __slots__ = ()
+    Operators are immutable after construction (rewrites build new
+    nodes), so derived values — the canonical key, the outer-parameter
+    set — are memoized on the instance in the two base slots.
+    """
+
+    __slots__ = ("_key_memo", "_params_memo")
 
     def children(self) -> Tuple["Plan", ...]:
         """Input plans of this operator."""
@@ -60,13 +65,21 @@ class Plan:
     def _key(self) -> tuple:
         raise NotImplementedError
 
+    def cached_key(self) -> tuple:
+        """``self._key()``, computed once per instance."""
+        try:
+            return self._key_memo
+        except AttributeError:
+            key = self._key_memo = self._key()
+            return key
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Plan):
             return NotImplemented
-        return self._key() == other._key()
+        return self.cached_key() == other.cached_key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        return hash(self.cached_key())
 
     def operator_name(self) -> str:
         """Short name used in plan renderings (``Bind``, ``Select``...)."""

@@ -54,29 +54,41 @@ class ExecutionPolicy:
     evaluation order.  ``cache_source_calls`` memoizes wrapper round
     trips for the duration of one execution, and ``batch_djoin`` makes a
     DJoin evaluate its right input once per *distinct* outer binding
-    tuple instead of once per left row.  Both are on by default: they
-    never change the produced Tab, only the number of recorded source
-    calls.
+    tuple instead of once per left row.  ``compile_kernels`` runs Bind
+    filters and Select/Join predicates through the compiled closures of
+    :mod:`repro.core.algebra.compiled` instead of the interpretive
+    matcher/evaluator.  All three are on by default: they never change
+    the produced Tab, only the amount of mediator work.
     """
 
-    __slots__ = ("parallelism", "cache_source_calls", "batch_djoin")
+    __slots__ = (
+        "parallelism", "cache_source_calls", "batch_djoin", "compile_kernels"
+    )
 
     def __init__(
         self,
         parallelism: int = 1,
         cache_source_calls: bool = True,
         batch_djoin: bool = True,
+        compile_kernels: bool = True,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
         self.cache_source_calls = cache_source_calls
         self.batch_djoin = batch_djoin
+        self.compile_kernels = compile_kernels
 
     @classmethod
     def serial(cls) -> "ExecutionPolicy":
-        """The seed behavior, byte for byte: no pool, no cache, no batching."""
-        return cls(parallelism=1, cache_source_calls=False, batch_djoin=False)
+        """The seed behavior, byte for byte: no pool, no cache, no
+        batching, interpretive matching (the differential oracle)."""
+        return cls(
+            parallelism=1,
+            cache_source_calls=False,
+            batch_djoin=False,
+            compile_kernels=False,
+        )
 
     @classmethod
     def parallel(cls, parallelism: int = 4) -> "ExecutionPolicy":
@@ -91,7 +103,8 @@ class ExecutionPolicy:
         return (
             f"ExecutionPolicy(parallelism={self.parallelism}, "
             f"cache_source_calls={self.cache_source_calls}, "
-            f"batch_djoin={self.batch_djoin})"
+            f"batch_djoin={self.batch_djoin}, "
+            f"compile_kernels={self.compile_kernels})"
         )
 
 
@@ -205,7 +218,19 @@ def plan_parameters(plan: Plan) -> frozenset:
     :func:`identity_cell_key` — make the plan evaluate identically,
     which is exactly what DJoin batching and the pushed-call cache key
     on.
+
+    Memoized on the (immutable) plan instance at every level of the
+    recursion: a DJoin recomputes its right fragment's parameters once
+    per outer row, and the pushed-call cache once per round trip.
     """
+    try:
+        return plan._params_memo
+    except AttributeError:
+        parameters = plan._params_memo = _plan_parameters(plan)
+        return parameters
+
+
+def _plan_parameters(plan: Plan) -> frozenset:
     if isinstance(plan, (UnitOp, LiteralOp, SourceOp)):
         return frozenset()
     if isinstance(plan, PushedOp):

@@ -25,17 +25,23 @@ import sys
 from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT
 from repro.mediator.mediator import Mediator
 from repro.core.algebra.scheduling import ExecutionPolicy
-from repro.observability.metrics import MetricsRegistry, record_execution
+from repro.observability.metrics import (
+    MetricsRegistry,
+    record_execution,
+    record_plan_cache,
+)
 from repro.wrappers.o2_wrapper import O2Wrapper
 from repro.wrappers.wais_wrapper import WaisWrapper
 
 NAMED_QUERIES = {"q1": Q1, "q2": Q2}
 
 
-def build_mediator(n_artifacts: int, seed: int) -> Mediator:
+def build_mediator(
+    n_artifacts: int, seed: int, plan_cache_size: int = 128
+) -> Mediator:
     """The paper's running federation, sized for demonstration."""
     database, store = CulturalDataset(n_artifacts=n_artifacts, seed=seed).build()
-    mediator = Mediator()
+    mediator = Mediator(plan_cache_size=plan_cache_size)
     mediator.connect(O2Wrapper("o2artifact", database))
     mediator.connect(WaisWrapper("xmlartwork", store))
     mediator.declare_containment("artworks", "artifacts")
@@ -92,6 +98,16 @@ def main(argv=None) -> int:
         "--metrics", metavar="PATH",
         help="with --analyze: write the Prometheus exposition (- for stdout)",
     )
+    parser.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="disable the mediator's plan cache (every run plans from scratch)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="K",
+        help="explain the query K times against one mediator and print the "
+        "last explanation; from the second run on a 'plan: cached' line "
+        "marks plans served from the plan cache (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -100,19 +116,23 @@ def main(argv=None) -> int:
         parser.error(f"cannot read query {args.query!r}: {error}")
     rounds = tuple(int(r) for r in args.rounds.split(",") if r.strip())
 
-    mediator = build_mediator(args.n, args.seed)
+    mediator = build_mediator(
+        args.n, args.seed,
+        plan_cache_size=0 if args.no_plan_cache else 128,
+    )
     execution = (
         ExecutionPolicy.parallel(args.parallelism)
         if args.parallelism > 1
         else None
     )
-    explanation = mediator.explain(
-        text,
-        analyze=args.analyze,
-        optimize=not args.no_optimize,
-        rounds=rounds,
-        execution=execution,
-    )
+    for _ in range(max(1, args.repeat)):
+        explanation = mediator.explain(
+            text,
+            analyze=args.analyze,
+            optimize=not args.no_optimize,
+            rounds=rounds,
+            execution=execution,
+        )
     print(explanation.render())
 
     if args.analyze and args.chrome_trace:
@@ -121,6 +141,7 @@ def main(argv=None) -> int:
     if args.analyze and args.metrics:
         registry = MetricsRegistry()
         record_execution(registry, explanation.report, query=args.query)
+        record_plan_cache(registry, mediator)
         if args.metrics == "-":
             print()
             print(registry.exposition(), end="")

@@ -26,7 +26,7 @@ from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Tab
 from repro.mediator.resilience import ResiliencePolicy, SourceOutcome
 from repro.model.trees import DataNode
-from repro.observability.context import activate_tracer
+from repro.observability.context import activate_compile_kernels, activate_tracer
 
 
 class ExecutionReport:
@@ -127,14 +127,18 @@ def run_plan(
                       resilience=runtime, policy=execution, tracer=tracer)
     started = time.perf_counter()
     try:
-        if tracer is None:
-            tab = evaluate(plan, env)
-        else:
-            with activate_tracer(tracer), tracer.start(
-                "execute", kind="execution"
-            ) as root:
+        # The compile_kernels flag crosses the wrapper boundary the same
+        # way the tracer does: thread-locally, so the adapter protocol
+        # keeps its signature and serial() stays interpretive end to end.
+        with activate_compile_kernels(env.policy.compile_kernels):
+            if tracer is None:
                 tab = evaluate(plan, env)
-                root.annotate(rows=len(tab))
+            else:
+                with activate_tracer(tracer), tracer.start(
+                    "execute", kind="execution"
+                ) as root:
+                    tab = evaluate(plan, env)
+                    root.annotate(rows=len(tab))
     finally:
         env.shutdown()
     elapsed = time.perf_counter() - started

@@ -29,14 +29,17 @@ from repro.core.algebra.tab import Tab
 from repro.core.optimizer.bind_split import ref_is
 from repro.core.optimizer.planner import Optimizer
 from repro.core.optimizer.rules import OptimizerContext, RewriteTrace
+from repro.core.optimizer.cost import ObservedStatistics
 from repro.mediator.catalog import Catalog
 from repro.mediator.execution import ExecutionReport, run_plan
+from repro.mediator.plan_cache import CachedPlan, PlanCache, rebind_plan
 from repro.mediator.resilience import ResiliencePolicy
 from repro.mediator.views import VIEW_SOURCE, ViewRegistry
 from repro.model.trees import DataNode
 from repro.sources.wais.index import document_contains
 from repro.wrappers.base import Wrapper
 from repro.yatl.ast import YatlQuery
+from repro.yatl.normalize import NormalizedQuery, normalize_query
 from repro.yatl.parser import parse_program, parse_query
 from repro.yatl.translator import translate_query, translate_rule
 
@@ -69,7 +72,7 @@ def _field_contains(field: str):
 class QueryResult:
     """Everything :meth:`Mediator.query` learned about one query."""
 
-    __slots__ = ("naive_plan", "plan", "trace", "report")
+    __slots__ = ("naive_plan", "plan", "trace", "report", "cached")
 
     def __init__(
         self,
@@ -77,11 +80,15 @@ class QueryResult:
         plan: Plan,
         trace: RewriteTrace,
         report: ExecutionReport,
+        cached: bool = False,
     ) -> None:
         self.naive_plan = naive_plan
         self.plan = plan
         self.trace = trace
         self.report = report
+        #: True when the plan came from the plan cache (possibly after
+        #: constant rebinding) instead of a fresh planning pass.
+        self.cached = cached
 
     @property
     def tab(self) -> Tab:
@@ -116,11 +123,31 @@ class Mediator:
         gate_information_passing: bool = False,
         policy: Optional[ResiliencePolicy] = None,
         execution: Optional[ExecutionPolicy] = None,
+        plan_cache_size: int = 128,
     ) -> None:
         self.name = name
         self.catalog = Catalog()
         self.views = ViewRegistry()
         self._containments: set = set()
+        #: Compiled-plan cache keyed by the query's *normalized* form
+        #: (constants lifted into parameters), or ``None`` when disabled
+        #: with ``plan_cache_size=0`` — every query then plans from
+        #: scratch, exactly the seed behavior.
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(capacity=plan_cache_size) if plan_cache_size > 0 else None
+        )
+        #: Bumped whenever the catalog changes shape (connect, views,
+        #: containments); part of every cache key, so stale plans are
+        #: unreachable even before the explicit invalidate() frees them.
+        self._epoch = 0
+        #: Bumped when EXPLAIN ANALYZE feedback materially changes the
+        #: statistics a gated optimization would use.
+        self._stats_version = 0
+        self._observed = ObservedStatistics()
+        #: Memo of wrapper selectivity probes, keyed (source, constant);
+        #: cleared with the epoch — probing is a real source round trip
+        #: and must not run once per query for the same constant.
+        self._probe_cache: dict = {}
         #: Extension beyond the paper: cost-gate the bind-join conversion
         #: (see OptimizerContext.gate_information_passing).
         self.gate_information_passing = gate_information_passing
@@ -152,6 +179,7 @@ class Mediator:
                 self.functions[name] = _field_contains(
                     name.removeprefix("contains_")
                 )
+        self._invalidate_plans()
         return interface
 
     def load_program(self, text: str) -> Tuple[str, ...]:
@@ -174,11 +202,20 @@ class Mediator:
         for rule in program.rules:
             if rule.name not in names:
                 names.append(rule.name)
+        self._invalidate_plans()
         return tuple(names)
 
     def declare_containment(self, subset_document: str, superset_document: str) -> None:
         """Administrator metadata for join-branch elimination (Figure 8)."""
         self._containments.add((subset_document, superset_document))
+        self._invalidate_plans()
+
+    def _invalidate_plans(self) -> None:
+        """Catalog changed: cached plans and probe answers are suspect."""
+        self._epoch += 1
+        self._probe_cache.clear()
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
 
     # -- planning ------------------------------------------------------------------
 
@@ -226,27 +263,106 @@ class Mediator:
         rounds: Sequence[int] = (1, 2, 3),
     ) -> Tuple[Plan, Plan, RewriteTrace]:
         """(naive plan, optimized plan, trace) for a parsed query."""
+        if self.plan_cache is None:
+            return self._plan_fresh(query, optimize, tuple(rounds))
+        naive, optimized, trace, _cached = self._plan_normalized(
+            normalize_query(query), optimize, tuple(rounds)
+        )
+        return naive, optimized, trace
+
+    def _plan_text(
+        self, text: str, optimize: bool, rounds: Sequence[int]
+    ) -> Tuple[Plan, Plan, RewriteTrace, bool]:
+        """Plan query *text* through the cache; also memoizes the parse."""
+        rounds = tuple(rounds)
+        cache = self.plan_cache
+        if cache is None:
+            naive, optimized, trace = self._plan_fresh(
+                parse_query(text), optimize, rounds
+            )
+            return naive, optimized, trace, False
+        normalized = cache.normalized(text)
+        if normalized is None:
+            normalized = normalize_query(parse_query(text))
+            cache.remember_text(text, normalized)
+        return self._plan_normalized(normalized, optimize, rounds)
+
+    def _plan_normalized(
+        self,
+        normalized: NormalizedQuery,
+        optimize: bool,
+        rounds: tuple,
+    ) -> Tuple[Plan, Plan, RewriteTrace, bool]:
+        """Serve a plan from the cache, rebinding constants on a hit."""
+        cache = self.plan_cache
+        assert cache is not None
+        key = (
+            normalized.key,
+            optimize,
+            rounds,
+            self.gate_information_passing,
+            self._epoch,
+            self._stats_version,
+        )
+        entry = cache.lookup(key)
+        if entry is not None:
+            if entry.values == normalized.values:
+                return entry.naive, entry.plan, entry.trace, True
+            # Same shape, different constants: splice the new values into
+            # the cached plans instead of replanning.  The trace still
+            # describes the rewrites (they are constant-independent).
+            cache.rebinds += 1
+            naive = rebind_plan(entry.naive, normalized.values)
+            optimized = rebind_plan(entry.plan, normalized.values)
+            return naive, optimized, entry.trace, True
+        naive, optimized, trace = self._plan_fresh(
+            normalized.query, optimize, rounds
+        )
+        cache.store(key, CachedPlan(naive, optimized, trace, normalized.values))
+        return naive, optimized, trace, False
+
+    def _plan_fresh(
+        self, query: YatlQuery, optimize: bool, rounds: Sequence[int]
+    ) -> Tuple[Plan, Plan, RewriteTrace]:
+        """One full planning pass: translate, compose, optimize."""
         translated = translate_query(query, self._resolve_document)
         naive = self.views.compose(translated)
         trace = RewriteTrace()
         optimized = naive
         if optimize:
             context = self.optimizer_context()
-            if context.cost_hints is not None:
-                context.cost_hints.text_selectivities.update(
-                    self._probe_text_selectivities(naive)
+            hints = context.cost_hints
+            if hints is not None:
+                # Measured statistics beat wrapper declarations, and both
+                # beat probing: only constants nothing else covers cost a
+                # source round trip.
+                hints.document_cardinalities.update(
+                    self._observed.document_cardinalities
+                )
+                hints.text_selectivities.update(
+                    self._observed.text_selectivities
+                )
+                hints.text_selectivities.update(
+                    self._probe_text_selectivities(
+                        naive, known=frozenset(hints.text_selectivities)
+                    )
                 )
             optimized, trace = Optimizer(context).optimize(
                 naive, rounds=rounds, trace=trace
             )
         return naive, optimized, trace
 
-    def _probe_text_selectivities(self, plan: Plan) -> dict:
+    def _probe_text_selectivities(
+        self, plan: Plan, known: frozenset = frozenset()
+    ) -> dict:
         """Ask sources for match fractions of the query's string constants.
 
         Used by the cost-gated optimizer: an inverted index answers "how
         many documents contain this term" without transferring anything,
         which is exactly the statistic the bind-join decision needs.
+        Answers are memoized per ``(source, constant)`` until the next
+        catalog change, and constants already in *known* (declared,
+        measured, or previously probed) are skipped entirely.
         """
         from repro.core.algebra.expressions import Const, Expr
         from repro.wrappers.base import Wrapper
@@ -258,12 +374,18 @@ class Mediator:
                 for sub in predicate.walk():
                     if isinstance(sub, Const) and isinstance(sub.value, str):
                         constants.add(sub.value)
+        constants -= set(known)
         estimates: dict = {}
-        for adapter in self.catalog.adapters().values():
+        for source_name, adapter in self.catalog.adapters().items():
             if not isinstance(adapter, Wrapper):
                 continue
             for constant in constants:
-                estimate = adapter.estimate_text_selectivity(constant)
+                memo_key = (source_name, constant)
+                if memo_key in self._probe_cache:
+                    estimate = self._probe_cache[memo_key]
+                else:
+                    estimate = adapter.estimate_text_selectivity(constant)
+                    self._probe_cache[memo_key] = estimate
                 if estimate is not None:
                     # Pessimistic across sources: keep the largest fraction.
                     estimates[constant] = max(
@@ -283,14 +405,13 @@ class Mediator:
         tracer=None,
     ) -> QueryResult:
         """Parse, plan, optimize and evaluate a YAT_L query."""
-        parsed = parse_query(text)
-        naive, optimized, trace = self.plan_query(
-            parsed, optimize=optimize, rounds=rounds
+        naive, optimized, trace, cached = self._plan_text(
+            text, optimize, rounds
         )
         report = self.execute(
             optimized, policy=policy, execution=execution, tracer=tracer
         )
-        return QueryResult(naive, optimized, trace, report)
+        return QueryResult(naive, optimized, trace, report, cached=cached)
 
     def explain(
         self,
@@ -317,9 +438,8 @@ class Mediator:
         from repro.observability.explain import Explanation
         from repro.observability.tracer import Tracer
 
-        parsed = parse_query(text)
-        naive, optimized, trace = self.plan_query(
-            parsed, optimize=optimize, rounds=rounds
+        naive, optimized, trace, cached = self._plan_text(
+            text, optimize, rounds
         )
         report = None
         if analyze:
@@ -328,11 +448,28 @@ class Mediator:
             report = self.execute(
                 optimized, policy=policy, execution=execution, tracer=tracer
             )
+            self._absorb_actuals(optimized, tracer)
         elif tracer is not None:
             tracer = None  # a plan-only EXPLAIN never executes anything
         return Explanation(
-            text, naive, optimized, trace, report=report, tracer=tracer
+            text, naive, optimized, trace, report=report, tracer=tracer,
+            cached=cached,
         )
+
+    def _absorb_actuals(self, plan: Plan, tracer) -> None:
+        """Fold EXPLAIN ANALYZE actuals into the observed statistics."""
+        from repro.observability.explain import collect_actuals
+
+        actuals = collect_actuals(tracer)
+        if not actuals:
+            return
+        changed = self._observed.absorb(plan, actuals)
+        if changed and self.gate_information_passing:
+            # Plans chosen under the old statistics must replan; the
+            # version bump makes their cache keys unreachable.
+            self._stats_version += 1
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate()
 
     def execute(
         self,

@@ -32,7 +32,10 @@ class DataNode:
     combinations of arguments that make sense.
     """
 
-    __slots__ = ("label", "children", "atom", "ident", "ref_target", "collection")
+    __slots__ = (
+        "label", "children", "atom", "ident", "ref_target", "collection",
+        "_vkey", "_vhash", "_ssize",
+    )
 
     def __init__(
         self,
@@ -55,6 +58,15 @@ class DataNode:
         self.ident = ident
         self.ref_target = ref_target
         self.collection = collection
+        # Lazily computed structural key / hash.  Nodes are immutable
+        # after construction, so both can be cached on the instance —
+        # distinct(), hash-join probes and set operations would otherwise
+        # recompute the full recursive key on every use.
+        self._vkey: Optional[tuple] = None
+        self._vhash: Optional[int] = None
+        #: Serialized byte size, cached by ``xml_io.serialized_size`` —
+        #: transfer statistics re-measure shared trees on every call.
+        self._ssize: Optional[int] = None
 
     # -- classification ----------------------------------------------------
 
@@ -136,6 +148,9 @@ class DataNode:
         Identifiers are excluded; under unordered collection kinds the
         children are compared as sorted multisets.
         """
+        key = self._vkey
+        if key is not None:
+            return key
         if self.is_atom_leaf:
             content: tuple = ("atom", type(self.atom).__name__, self.atom)
         elif self.is_reference:
@@ -145,7 +160,8 @@ class DataNode:
             if self.collection in UNORDERED_KINDS:
                 keys.sort(key=repr)
             content = ("elem", tuple(keys))
-        return (self.label, self.collection, content)
+        key = self._vkey = (self.label, self.collection, content)
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DataNode):
@@ -153,7 +169,10 @@ class DataNode:
         return self._value_key() == other._value_key()
 
     def __hash__(self) -> int:
-        return hash(self._value_key())
+        h = self._vhash
+        if h is None:
+            h = self._vhash = hash(self._value_key())
+        return h
 
     # -- copies -------------------------------------------------------------
 

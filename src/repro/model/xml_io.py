@@ -107,13 +107,100 @@ def xml_to_tree(text: str) -> DataNode:
     return element_to_tree(element)
 
 
+def escaped_text_size(text: str) -> int:
+    """UTF-8 byte count of *text* as XML character data.
+
+    Mirrors ``xml.etree``'s ``_escape_cdata``: ``&`` becomes ``&amp;``
+    (+4 bytes), ``<``/``>`` become ``&lt;``/``&gt;`` (+3 bytes each).
+    """
+    return (
+        len(text.encode("utf-8"))
+        + 4 * text.count("&")
+        + 3 * text.count("<")
+        + 3 * text.count(">")
+    )
+
+
+def escaped_attr_size(value: str) -> int:
+    """UTF-8 byte count of *value* as an XML attribute value.
+
+    Mirrors ``xml.etree``'s ``_escape_attrib``: on top of the character
+    data escapes, ``"`` becomes ``&quot;`` (+5) and bare ``\\r``/``\\n``/
+    ``\\t`` become character references (+4 each).
+    """
+    return (
+        len(value.encode("utf-8"))
+        + 4 * value.count("&")
+        + 3 * value.count("<")
+        + 3 * value.count(">")
+        + 5 * value.count('"')
+        + 4 * value.count("\r")
+        + 4 * value.count("\n")
+        + 4 * value.count("\t")
+    )
+
+
+def element_size(tag: str, attrs, content_size: Optional[int]) -> int:
+    """Serialized byte size of one element.
+
+    *attrs* is an iterable of ``(name, value)`` pairs; *content_size* is
+    the total byte size of the element's serialized content, or ``None``
+    for the short empty-element form (``<tag />``), matching
+    ``ET.tostring``'s behavior when an element has no text and no
+    children.
+    """
+    tag_bytes = len(tag.encode("utf-8"))
+    size = 1 + tag_bytes  # "<tag"
+    for name, value in attrs:
+        # ' name="value"'
+        size += 2 + len(name.encode("utf-8")) + 2 + escaped_attr_size(value)
+    if content_size is None:
+        return size + 3  # " />"
+    return size + 1 + content_size + 2 + tag_bytes + 1  # ">" ... "</tag>"
+
+
 def serialized_size(node: DataNode) -> int:
     """Number of UTF-8 bytes of the tree's XML serialization.
 
     This is the transfer cost the mediator pays when the tree crosses a
-    wrapper boundary; the execution statistics aggregate it.
+    wrapper boundary; the execution statistics aggregate it.  Computed
+    arithmetically — without materializing the XML string — but kept
+    byte-for-byte consistent with ``len(tree_to_xml(node).encode())``
+    (the test suite checks the two against each other).  The size is
+    cached on the (immutable) node, so shared trees — ident-index
+    exports, pushed-result cells — are measured once, not once per
+    transfer-statistics record.
     """
-    return len(tree_to_xml(node).encode("utf-8"))
+    cached = node._ssize
+    if cached is not None:
+        return cached
+    size = _compute_serialized_size(node)
+    node._ssize = size
+    return size
+
+
+def _compute_serialized_size(node: DataNode) -> int:
+    attrs = []
+    if node.ident is not None:
+        attrs.append(("id", node.ident))
+    if node.collection is not None:
+        attrs.append(("col", node.collection))
+    if node.ref_target is not None:
+        attrs.append(("ref", node.ref_target))
+        return element_size(node.label, attrs, None)
+    if node.atom is not None:
+        attrs.append(("type", atom_type_name(node.atom)))
+        text, encoding = encode_atom_text(node.atom)
+        if encoding is not None:
+            attrs.append(("enc", encoding))
+        content = escaped_text_size(text) if text else None
+        return element_size(node.label, attrs, content)
+    if not node.children:
+        return element_size(node.label, attrs, None)
+    content = 0
+    for child in node.children:
+        content += serialized_size(child)
+    return element_size(node.label, attrs, content)
 
 
 # Characters XML 1.0 cannot carry verbatim (or that parsers normalize,

@@ -26,7 +26,12 @@ pre-instrumentation evaluator (see
 byte-identical answers.
 """
 
-from repro.observability.context import activate_tracer, current_tracer
+from repro.observability.context import (
+    activate_compile_kernels,
+    activate_tracer,
+    current_compile_kernels,
+    current_tracer,
+)
 from repro.observability.explain import Explanation, NodeActuals, collect_actuals, render_plan
 from repro.observability.metrics import (
     Counter,
@@ -46,8 +51,10 @@ __all__ = [
     "NodeActuals",
     "Span",
     "Tracer",
+    "activate_compile_kernels",
     "activate_tracer",
     "collect_actuals",
+    "current_compile_kernels",
     "current_tracer",
     "record_execution",
     "render_plan",

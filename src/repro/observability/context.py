@@ -1,4 +1,4 @@
-"""Thread-local tracer propagation.
+"""Thread-local execution-context propagation (tracer, kernel policy).
 
 Layers that receive an :class:`~repro.core.algebra.evaluator.Environment`
 read its ``tracer`` attribute directly, but the wrapper boundary does not
@@ -14,6 +14,12 @@ signature change across the adapter protocol.
 scheduler pool threads.  When no tracer is active, :func:`current_tracer`
 is a single thread-local attribute read returning ``None`` — the
 disabled fast path.
+
+The same slot-per-thread pattern carries the execution policy's
+``compile_kernels`` flag across the wrapper boundary: wrappers consult
+:func:`current_compile_kernels` to decide between their compiled native
+path and the interpretive one, so ``ExecutionPolicy.serial()`` (the
+differential oracle) stays interpretive end to end.
 """
 
 from __future__ import annotations
@@ -52,3 +58,30 @@ def activate_tracer(tracer: Optional["Tracer"]) -> Iterator[Optional["Tracer"]]:
         yield tracer
     finally:
         set_tracer(previous)
+
+
+def current_compile_kernels() -> bool:
+    """Whether source-side kernel compilation is on for this thread.
+
+    Defaults to ``True`` — the same default as
+    :class:`~repro.core.algebra.scheduling.ExecutionPolicy` — so direct
+    wrapper use outside ``run_plan`` takes the compiled path.
+    """
+    return getattr(_local, "compile_kernels", True)
+
+
+def set_compile_kernels(flag: bool) -> bool:
+    """Install *flag* on this thread; returns the previous value."""
+    previous = getattr(_local, "compile_kernels", True)
+    _local.compile_kernels = flag
+    return previous
+
+
+@contextmanager
+def activate_compile_kernels(flag: bool) -> Iterator[bool]:
+    """Make *flag* the thread's kernel-compilation mode for the body."""
+    previous = set_compile_kernels(flag)
+    try:
+        yield flag
+    finally:
+        set_compile_kernels(previous)

@@ -178,7 +178,9 @@ def _pushdown_lines(
 class Explanation:
     """Everything :meth:`Mediator.explain` learned about one query."""
 
-    __slots__ = ("query", "naive_plan", "plan", "rewrites", "report", "tracer")
+    __slots__ = (
+        "query", "naive_plan", "plan", "rewrites", "report", "tracer", "cached"
+    )
 
     def __init__(
         self,
@@ -188,6 +190,7 @@ class Explanation:
         rewrites,
         report=None,
         tracer=None,
+        cached: bool = False,
     ) -> None:
         self.query = query
         self.naive_plan = naive_plan
@@ -199,6 +202,8 @@ class Explanation:
         #: The :class:`~repro.observability.tracer.Tracer` that observed
         #: the ANALYZE execution (chrome-trace it, feed it to metrics).
         self.tracer = tracer
+        #: True when the plan was served from the mediator's plan cache.
+        self.cached = cached
 
     @property
     def analyze(self) -> bool:
@@ -211,6 +216,10 @@ class Explanation:
         lines: List[str] = []
         lines.append("EXPLAIN ANALYZE" if self.analyze else "EXPLAIN")
         rewrites = len(self.rewrites) if self.rewrites is not None else 0
+        if self.cached:
+            # Only emitted on an actual cache hit, so a fresh mediator
+            # renders identically every time.
+            lines.append("plan: cached")
         lines.append(f"plan ({rewrites} rewrites applied):")
         actuals = self.actuals()
         lines.append(render_plan(self.plan, actuals))

@@ -34,6 +34,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "record_execution",
+    "record_plan_cache",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -449,3 +450,45 @@ def record_execution(
                 operator_rows.labels(
                     operator=str(span.attrs.get("operator", span.name))
                 ).inc(produced)
+
+
+def record_plan_cache(registry: MetricsRegistry, mediator) -> None:
+    """Export a mediator's plan-cache and kernel-cache state as gauges.
+
+    Gauges (not counters) because the numbers are cumulative snapshots
+    owned by the cache itself; re-recording overwrites rather than
+    double-counts.  A mediator constructed with ``plan_cache_size=0``
+    records nothing for the plan-cache family.
+    """
+    from repro.core.algebra.compiled import kernel_cache_stats
+
+    cache = getattr(mediator, "plan_cache", None)
+    if cache is not None:
+        stats = cache.stats()
+        gauges = (
+            ("yat_plan_cache_entries", "Plans currently cached.", "entries"),
+            ("yat_plan_cache_hits", "Plan cache lookups served.", "hits"),
+            ("yat_plan_cache_misses", "Plan cache lookups missed.", "misses"),
+            ("yat_plan_cache_invalidations",
+             "Plans dropped by catalog/statistics invalidation.",
+             "invalidations"),
+            ("yat_plan_cache_rebinds",
+             "Cache hits served by rebinding constants into a cached plan.",
+             "rebinds"),
+        )
+        for name, help_text, field in gauges:
+            registry.gauge(name, help_text).set(stats[field])
+    kernels = kernel_cache_stats()
+    registry.gauge(
+        "yat_compiled_filter_kernels", "Compiled Bind filter kernels held."
+    ).set(kernels["filter_kernels"])
+    registry.gauge(
+        "yat_compiled_predicate_kernels",
+        "Compiled Select/Join predicate kernels held.",
+    ).set(kernels["predicate_kernels"])
+    registry.gauge(
+        "yat_kernel_cache_hits", "Kernel lookups served without compiling."
+    ).set(kernels["hits"])
+    registry.gauge(
+        "yat_kernel_compiles", "Kernel compilations performed."
+    ).set(kernels["compiles"])

@@ -73,6 +73,10 @@ class ObjectDatabase:
             extent: [] for extent in schema.extents()
         }
         self._counter = 0
+        self._ident_index: Optional[Dict[str, DataNode]] = None
+        #: Bumped on every update; result memos key on it so a cached
+        #: query answer can never outlive the data it was computed from.
+        self.version = 0
 
     # -- updates ---------------------------------------------------------------
 
@@ -94,6 +98,8 @@ class ObjectDatabase:
         self._objects[oid] = OdmgObject(oid, class_name, values)
         if definition.extent is not None:
             self._extents[definition.extent].append(oid)
+        self._ident_index = None  # exported trees are stale now
+        self.version += 1
         return oid
 
     def _check_tuple(self, tuple_type: TupleType, values: Dict[str, object], context: str) -> None:
@@ -198,7 +204,18 @@ class ObjectDatabase:
         )
 
     def export_object(self, oid: str) -> DataNode:
-        """One object as ``class [ <class name> [ <value> ] ]``."""
+        """One object as ``class [ <class name> [ <value> ] ]``.
+
+        Served from the :meth:`ident_index` cache when it is built:
+        exported trees are immutable, so handing out the indexed tree is
+        indistinguishable from re-exporting — and pushed OQL results are
+        exported once instead of once per information-passing round trip.
+        """
+        index = self._ident_index
+        if index is not None:
+            cached = index.get(oid)
+            if cached is not None:
+                return cached
         obj = self.get(oid)
         definition = self.schema.class_of(obj.class_name)
         value_tree = self._export_value(definition.type, obj.values)
@@ -239,5 +256,15 @@ class ObjectDatabase:
         return self._export_value(element_type, item)
 
     def ident_index(self) -> Dict[str, DataNode]:
-        """``{oid: exported class tree}`` for reference dereferencing."""
-        return {oid: self.export_object(oid) for oid in self._objects}
+        """``{oid: exported class tree}`` for reference dereferencing.
+
+        The export is cached until the next :meth:`insert` — exported
+        trees are immutable, so sharing them across executions is safe.
+        Callers must treat the returned mapping as read-only.
+        """
+        index = self._ident_index
+        if index is None:
+            index = self._ident_index = {
+                oid: self.export_object(oid) for oid in self._objects
+            }
+        return index

@@ -108,10 +108,18 @@ def analyze_fragment(plan: Plan, source_name: str) -> PushedFragment:
 class Wrapper(SourceAdapter):
     """Base class of generic wrappers."""
 
+    #: Bound on the per-wrapper fragment memo (``checked_fragment``).
+    FRAGMENT_MEMO_CAPACITY = 256
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._interface: Optional[SourceInterface] = None
         self._document_name_set: Optional[frozenset] = None
+        self._matcher: Optional[CapabilityMatcher] = None
+        #: ``id(plan) -> (plan, fragment)``; the plan reference keeps the
+        #: id stable for the lifetime of the entry (same idiom as the
+        #: evaluator's per-plan memos).
+        self._fragments: Dict[int, Tuple[Plan, PushedFragment]] = {}
 
     def document_name_set(self) -> frozenset:
         """Exported document names as a set, cached after the first call.
@@ -145,8 +153,15 @@ class Wrapper(SourceAdapter):
         return interface_to_xml(self.interface())
 
     def matcher(self) -> CapabilityMatcher:
-        """Admissibility checker over this wrapper's own interface."""
-        return CapabilityMatcher(self.interface())
+        """Admissibility checker over this wrapper's own interface.
+
+        Built once and reused: the interface is immutable after
+        :meth:`interface` caches it, and the matcher holds no per-check
+        state, so every pushed call sharing one instance is sound.
+        """
+        if self._matcher is None:
+            self._matcher = CapabilityMatcher(self.interface())
+        return self._matcher
 
     # -- validation --------------------------------------------------------------
 
@@ -172,6 +187,27 @@ class Wrapper(SourceAdapter):
                     f"wrapper {self.name!r} rejects pushed projection: "
                     f"{pushable.reason}"
                 )
+
+    def checked_fragment(self, plan: Plan) -> PushedFragment:
+        """Analyze and validate *plan* once per plan object.
+
+        Plans are immutable and the interface is fixed, so both the
+        decomposition and the capability check are pure in the plan.
+        The mediator's plan cache replays the very same plan objects on
+        every warm hit, and a DJoin sends the same fragment once per
+        outer row — this memo makes every crossing after the first a
+        dictionary lookup.  Rejections are not memoized; the error path
+        is cold by construction.
+        """
+        entry = self._fragments.get(id(plan))
+        if entry is not None:
+            return entry[1]
+        fragment = analyze_fragment(plan, self.name)
+        self.validate_fragment(fragment)
+        if len(self._fragments) >= self.FRAGMENT_MEMO_CAPACITY:
+            self._fragments.pop(next(iter(self._fragments)))
+        self._fragments[id(plan)] = (plan, fragment)
+        return fragment
 
     # -- statistics ----------------------------------------------------------------
 
@@ -208,8 +244,7 @@ class Wrapper(SourceAdapter):
     ) -> Tuple[Tab, str]:
         tracer = current_tracer()
         if tracer is None:
-            fragment = analyze_fragment(plan, self.name)
-            self.validate_fragment(fragment)
+            fragment = self.checked_fragment(plan)
             return self.run_fragment(fragment, plan, outer)
         # Wrapper-side view of the pushed call: fragment analysis and
         # capability validation are mediator-protocol work, the native
@@ -218,8 +253,7 @@ class Wrapper(SourceAdapter):
         with tracer.start(
             f"wrapper:{self.name}", kind="wrapper", source=self.name
         ) as span:
-            fragment = analyze_fragment(plan, self.name)
-            self.validate_fragment(fragment)
+            fragment = self.checked_fragment(plan)
             with tracer.start(
                 f"{self.name}:native", kind="native", source=self.name
             ):

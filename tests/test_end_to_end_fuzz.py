@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro import ExecutionPolicy, Mediator, O2Wrapper, WaisWrapper
 from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT
+from repro.model.xml_io import tree_to_xml
 
 QUERIES = {"Q1": Q1, "Q2": Q2}
 
@@ -122,3 +123,33 @@ class TestSchedulerSoundness:
                 params, declare_containment=True, execution=execution
             )
             assert mediator.query(Q1, optimize=optimize).document() == reference
+
+
+class TestCompileOnceSoundness:
+    """Plan-cache + compiled-kernel differential against the seed path.
+
+    The oracle is a mediator with the plan cache disabled running under
+    ``ExecutionPolicy.serial()`` — fresh planning and the interpretive
+    ``FilterMatcher`` / ``Expr.evaluate`` every time.  The subject keeps
+    the defaults (plan cache on, compiled kernels on) and answers twice:
+    cold (cache miss) and warm (cache hit, rebound plan).  All three
+    answers must serialize to identical bytes.
+    """
+
+    @given(params=datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_cached_compiled_answers_are_byte_identical(self, params):
+        for text in (Q1, Q2):
+            oracle = build(params, declare_containment=False)
+            oracle.plan_cache = None
+            reference = tree_to_xml(
+                oracle.query(
+                    text, execution=ExecutionPolicy.serial()
+                ).document()
+            )
+            subject = build(params, declare_containment=False)
+            cold = subject.query(text)
+            warm = subject.query(text)
+            assert not cold.cached and warm.cached
+            assert tree_to_xml(cold.document()) == reference
+            assert tree_to_xml(warm.document()) == reference

@@ -125,6 +125,24 @@ class TestTabWireFormat:
     def test_serialized_size(self, tab):
         assert tab_serialized_size(tab) == len(tab_to_xml(tab).encode("utf-8"))
 
+    @pytest.mark.parametrize(
+        "tab",
+        [
+            Tab((), []),
+            Tab(("a",), []),
+            Tab(("a", "b"), [Row(("a", "b"), ("x & y", MISSING))]),
+            Tab(("a",), [Row(("a",), ((),))]),  # empty nested collection
+            Tab(("a",), [Row(("a",), ((1, "two", 3.0),))]),
+            Tab(
+                ("t",),
+                [Row(("t",), (elem("doc", atom_leaf("x", "a<b")),))],
+            ),
+            Tab(("t",), [Row(("t",), ("\x00binary",))]),
+        ],
+    )
+    def test_serialized_size_matches_encoder_on_edge_cases(self, tab):
+        assert tab_serialized_size(tab) == len(tab_to_xml(tab).encode("utf-8"))
+
     def test_empty_tab(self):
         tab = Tab((), [])
         assert xml_to_tab(tab_to_xml(tab)) == tab

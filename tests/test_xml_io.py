@@ -76,6 +76,30 @@ class TestTreeRoundTrip:
         assert size == len(tree_to_xml(work).encode("utf-8"))
         assert size > 50
 
+    @pytest.mark.parametrize(
+        "tree",
+        [
+            atom_leaf("t", 'a & b < c > d "quoted"'),
+            atom_leaf("t", "tabs\tand\nnewlines\r"),
+            atom_leaf("t", "control\x00chars"),  # forces base64 encoding
+            atom_leaf("t", ""),  # falsy text takes the short form
+            atom_leaf("t", "ünïcødé £€"),
+            atom_leaf("t", True),
+            atom_leaf("t", -0.125),
+            elem("empty"),
+            ref("painting", "p1"),
+            elem("outer", elem("inner", atom_leaf("x", 1)), ident="o1"),
+            collection_node(
+                "list", "items", [atom_leaf("value", i) for i in range(3)],
+                ident="c1",
+            ),
+        ],
+    )
+    def test_serialized_size_matches_encoder_on_edge_cases(self, tree):
+        # The arithmetic size must track the real encoder byte for byte:
+        # escaping, base64 fallback, short empty elements, attributes.
+        assert serialized_size(tree) == len(tree_to_xml(tree).encode("utf-8"))
+
 
 class TestPatternRoundTrip:
     @pytest.mark.parametrize(
