@@ -1,0 +1,122 @@
+"""I1 — document indexes: associative access for Bind, indexed vs scan.
+
+The paper's Section 5.2 rewrites exist so restrictions run "using the
+index" instead of scanning; this module measures the mediator-side
+counterpart.  One seekable filter (a constant ``artist`` restriction
+over a works collection) is matched two ways through the *same*
+compiled kernel: with a :class:`~repro.model.indexes.DocumentIndex`
+(value-index seek into the one matching work) and without (full scan
+of every work).  Bindings must be identical; only the time may differ.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.core.algebra.compiled import MatchContext, compile_filter
+from repro.model.filters import FConst, FRest, FStar, FVar, felem
+from repro.model.indexes import DocumentIndex
+from repro.model.trees import DataNode, atom_leaf, elem
+
+
+def build_works(n: int) -> DataNode:
+    """A works collection with exactly one Picasso at the midpoint."""
+    works = []
+    for i in range(n):
+        artist = "Picasso" if i == n // 2 else f"artist-{i % 97}"
+        works.append(
+            elem(
+                "work",
+                atom_leaf("artist", artist),
+                atom_leaf("title", f"title-{i}"),
+                atom_leaf("style", "cubist" if i % 2 else "impressionist"),
+                atom_leaf("size", float(i) * 1.5),
+                atom_leaf("year", 1900 + (i % 90)),
+            )
+        )
+    return DataNode("works", children=works, collection="set")
+
+
+def picasso_filter():
+    return felem(
+        "works",
+        FStar(
+            felem(
+                "work",
+                felem("artist", FConst("Picasso")),
+                felem("title", FVar("t")),
+                FRest("fields"),
+            )
+        ),
+    )
+
+
+def _identity_deref(node):
+    return node
+
+
+def median_seconds(run, repeats=15):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def speedup_rows(sizes=(25, 100, 400), repeats=15):
+    """``(n, scan_s, indexed_s, speedup)`` per size, answers verified."""
+    kernel = compile_filter(picasso_filter())
+    rows = []
+    for n in sizes:
+        tree = build_works(n)
+        index = DocumentIndex(tree)
+        assert index.supports_seek
+        scan_rows = kernel.match(tree, _identity_deref)
+        indexed_rows = kernel.match(tree, _identity_deref, MatchContext(index))
+        assert indexed_rows == scan_rows and len(scan_rows) == 1
+
+        scan_s = median_seconds(
+            lambda: kernel.match(tree, _identity_deref), repeats
+        )
+        indexed_s = median_seconds(
+            lambda: kernel.match(tree, _identity_deref, MatchContext(index)),
+            repeats,
+        )
+        rows.append((n, scan_s, indexed_s, scan_s / indexed_s))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark series
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_bind_scan(benchmark, n):
+    tree = build_works(n)
+    kernel = compile_filter(picasso_filter())
+    rows = benchmark(kernel.match, tree, _identity_deref)
+    assert len(rows) == 1
+
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_bind_index_seek(benchmark, n):
+    tree = build_works(n)
+    kernel = compile_filter(picasso_filter())
+    index = DocumentIndex(tree)
+    rows = benchmark(
+        lambda: kernel.match(tree, _identity_deref, MatchContext(index))
+    )
+    assert len(rows) == 1
+
+
+def test_index_seek_beats_scan_5x():
+    """Acceptance check: at the largest size the value-index seek must
+    beat the scan by at least 5x — the point of associative access."""
+    rows = speedup_rows(sizes=(400,), repeats=15)
+    (_n, scan_s, indexed_s, speedup), = rows
+    assert speedup >= 5.0, (
+        f"index seek {indexed_s * 1e3:.3f}ms is only {speedup:.1f}x faster "
+        f"than the {scan_s * 1e3:.3f}ms scan (need >= 5x)"
+    )

@@ -1,0 +1,93 @@
+"""Associative Bind access: document indexes at work in the portal.
+
+The mediator builds a label/value index over materialized documents so
+constant-restricted Binds *seek* instead of scanning every child
+(paper, Section 5.2 — "using the index").  This example shows the whole
+surface:
+
+1. ``EXPLAIN`` prints the optimizer's chosen access path per Bind —
+   ``bind: index-seek on (artist,'Berthe Morisot')`` vs ``bind: scan``;
+2. the same query runs with indexes on and off
+   (``ExecutionPolicy(use_document_indexes=False)``) and the answers
+   are byte-identical — the index only prunes, never matches;
+3. the execution report and the Prometheus exposition carry the seek
+   counters (``yat_bind_index_*``, ``yat_document_index_*``).
+
+Run:  python examples/indexed_portal.py [n_artifacts]
+"""
+
+import sys
+import time
+
+from repro import (
+    ExecutionPolicy,
+    Mediator,
+    MetricsRegistry,
+    O2Wrapper,
+    WaisWrapper,
+    record_execution,
+)
+from repro.datasets import CulturalDataset, VIEW1_YAT
+from repro.model.xml_io import tree_to_xml
+from repro.observability.metrics import record_plan_cache
+
+#: A constant-restricted query: only one artist's works survive.  The
+#: optimizer pushes the restriction when the source can take it; run
+#: unoptimized, the mediator-side Bind keeps the constant and the
+#: document index answers it associatively.
+QUERY = """
+MAKE doc [ * hit [ title: $t ] ]
+MATCH artworks WITH doc . work [ artist . "Berthe Morisot", title . $t ]
+"""
+
+
+def build_portal(n_artifacts: int) -> Mediator:
+    database, store = CulturalDataset(n_artifacts=n_artifacts, seed=42).build()
+    mediator = Mediator("portal")
+    mediator.connect(O2Wrapper("o2artifact", database))
+    mediator.connect(WaisWrapper("xmlartwork", store))
+    mediator.load_program(VIEW1_YAT)
+    return mediator
+
+
+def main() -> None:
+    n_artifacts = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    mediator = build_portal(n_artifacts)
+
+    print("=== 1. EXPLAIN: the access path the optimizer chose per Bind ===")
+    print(mediator.explain(QUERY, optimize=False).render())
+
+    print("=== 2. indexes on vs off: identical bytes, different work ===")
+    scan_policy = ExecutionPolicy(use_document_indexes=False)
+
+    start = time.perf_counter()
+    scanned = mediator.query(QUERY, optimize=False, execution=scan_policy)
+    scan_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    indexed = mediator.query(QUERY, optimize=False)
+    indexed_s = time.perf_counter() - start
+
+    identical = tree_to_xml(indexed.document()) == tree_to_xml(scanned.document())
+    stats = indexed.report.stats
+    print(f"rows: {len(indexed.report.tab)}   byte-identical: {identical}")
+    print(f"scan run:    {scan_s * 1e3:8.2f} ms   "
+          f"(bind index seeks: {scanned.report.stats.bind_index_seeks})")
+    print(f"indexed run: {indexed_s * 1e3:8.2f} ms   "
+          f"(bind index seeks: {stats.bind_index_seeks}, "
+          f"hits: {stats.bind_index_hits}, "
+          f"builds: {stats.bind_index_builds})")
+    assert identical, "document indexes must never change the answer"
+
+    print()
+    print("=== 3. the seek counters in the Prometheus exposition ===")
+    registry = MetricsRegistry()
+    record_execution(registry, indexed.report, query="indexed_portal")
+    record_plan_cache(registry, mediator)
+    for line in registry.exposition().splitlines():
+        if "bind_index" in line or "document_index" in line:
+            print(line)
+
+
+if __name__ == "__main__":
+    main()

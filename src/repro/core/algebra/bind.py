@@ -34,9 +34,19 @@ from repro.model.filters import (
     FVar,
     LabelVar,
 )
+from repro.model.indexes import required_constants
 from repro.model.trees import DataNode
 
 Binding = Dict[str, object]
+
+
+def collection_explosion(bound: int) -> BindError:
+    """The error both matching engines raise when a whole collection call
+    exceeds the binding bound (the per-tree guard catches single trees)."""
+    return BindError(
+        f"filter produces more than {bound} bindings across a "
+        f"collection; refusing the cartesian explosion"
+    )
 
 
 class FilterMatcher:
@@ -50,18 +60,40 @@ class FilterMatcher:
         reference node only matches variable filters (which bind the
         reference itself).
     max_matches:
-        Safety bound on the number of bindings produced per tree;
-        exceeded bounds raise :class:`BindError` (a runaway cartesian
-        product is almost always a query bug).
+        Safety bound on the number of bindings produced per tree and
+        across one :meth:`match_collection` call; exceeded bounds raise
+        :class:`BindError` (a runaway cartesian product is almost always
+        a query bug).
+    document_index:
+        Optional :class:`~repro.model.indexes.DocumentIndex` over the
+        tree(s) being matched.  Items demanding constants then seed
+        their candidate children from the value index and ``**`` jumps
+        via the label index — where :meth:`DocumentIndex.covers` proves
+        it sound; bindings are byte-identical either way.  ``seeks`` and
+        ``hits`` count the index consultations.
     """
 
     def __init__(
         self,
         index: Optional[Dict[str, DataNode]] = None,
         max_matches: int = 1_000_000,
+        document_index=None,
     ) -> None:
         self._index = index or {}
         self._max_matches = max_matches
+        #: Public and reassignable: the evaluator points one matcher at
+        #: each row's document in turn.
+        self.document_index = document_index
+        #: ``id(item) -> (item, lookup label, required constants)`` so the
+        #: sargability of each filter item is analyzed once per matcher,
+        #: not once per node.
+        self._item_access: Dict[int, tuple] = {}
+        self.seeks = 0
+        self.hits = 0
+
+    @property
+    def max_matches(self) -> int:
+        return self._max_matches
 
     # -- public entry points -------------------------------------------------
 
@@ -73,9 +105,13 @@ class FilterMatcher:
         self, nodes: Sequence[DataNode], flt: Filter
     ) -> List[Binding]:
         """Union of the bindings of *flt* against each tree in *nodes*."""
+        match = self._match
+        bound = self._max_matches
         bindings: List[Binding] = []
         for node in nodes:
-            bindings.extend(self._match(node, flt))
+            bindings.extend(match(node, flt))
+            if len(bindings) > bound:
+                raise collection_explosion(bound)
         return bindings
 
     # -- dispatch -------------------------------------------------------------
@@ -133,6 +169,20 @@ class FilterMatcher:
             return [{}] if node.atom == flt.value else []
         return []
 
+    def _sargable(self, item: Filter) -> tuple:
+        """``(lookup label, required constants)`` for one filter item."""
+        entry = self._item_access.get(id(item))
+        if entry is not None and entry[0] is item:
+            return entry[1], entry[2]
+        target = item.child if isinstance(item, FStar) else item
+        lookup: Optional[str] = None
+        required: tuple = ()
+        if isinstance(target, FElem) and isinstance(target.label, str):
+            lookup = target.label
+            required = required_constants(target)
+        self._item_access[id(item)] = (item, lookup, required)
+        return lookup, required
+
     def _match_children(
         self, node: DataNode, flt: FElem, own: Binding
     ) -> List[Binding]:
@@ -140,31 +190,39 @@ class FilterMatcher:
         rest_item: Optional[FRest] = None
         alternatives_per_item: List[List[Binding]] = []
         claimed: set = set()  # ids of children matched by some sibling item
+        doc_index = self.document_index
+        if doc_index is not None and not doc_index.covers(node):
+            doc_index = None
 
         for item in flt.children:
             if isinstance(item, FRest):
                 rest_item = item
                 continue
-            if isinstance(item, FStar):
-                # Stars iterate: one binding alternative per matching child.
-                # Zero matches fail the element, exactly like the DJoin the
-                # star is equivalent to (Figure 7): an empty nested
-                # collection contributes no rows.
-                alts: List[Binding] = []
-                for child in node.children:
-                    for binding in self._match(child, item.child):
-                        claimed.add(id(child))
-                        alts.append(binding)
-                if not alts:
-                    return []
-            else:
-                alts = []
-                for child in node.children:
-                    for binding in self._match(child, item):
-                        claimed.add(id(child))
-                        alts.append(binding)
-                if not alts:
-                    return []  # mandatory item failed: the whole element fails
+            # Stars iterate their inner filter: one binding alternative
+            # per matching child.  Zero matches fail the element, exactly
+            # like the DJoin the star is equivalent to (Figure 7): an
+            # empty nested collection contributes no rows.  Mandatory
+            # items fail the whole element the same way.
+            target = item.child if isinstance(item, FStar) else item
+            candidates: Sequence[DataNode] = node.children
+            if doc_index is not None:
+                lookup, required = self._sargable(item)
+                if required:
+                    # Associative access: only children whose subtree
+                    # holds every required constant can match — a sound,
+                    # ordered superset straight from the value index.
+                    candidates = doc_index.child_candidates(
+                        node, lookup, required
+                    )
+                    self.seeks += 1
+                    self.hits += len(candidates)
+            alts: List[Binding] = []
+            for child in candidates:
+                for binding in self._match(child, target):
+                    claimed.add(id(child))
+                    alts.append(binding)
+            if not alts:
+                return []
             alternatives_per_item.append(alts)
 
         rest_binding: Binding = {}
@@ -193,9 +251,27 @@ class FilterMatcher:
 
     def _match_descend(self, node: DataNode, flt: FDescend) -> List[Binding]:
         node = self._deref(node)
-        bindings: List[Binding] = []
+        child = flt.child
+        doc_index = self.document_index
+        if (
+            doc_index is not None
+            and isinstance(child, FElem)
+            and isinstance(child.label, str)
+            and doc_index.covers(node)
+        ):
+            # ``**`` into a literal label: jump to the label's positions
+            # instead of probing every descendant (the child filter
+            # re-checks the label, so the jump is a pure filter).
+            candidates = doc_index.descendants_with_label(node, child.label)
+            self.seeks += 1
+            self.hits += len(candidates)
+            bindings: List[Binding] = []
+            for descendant in candidates:
+                bindings.extend(self._match(descendant, child))
+            return bindings
+        bindings = []
         for descendant in node.descendants():
-            bindings.extend(self._match(descendant, flt.child))
+            bindings.extend(self._match(descendant, child))
         return bindings
 
 
@@ -216,6 +292,9 @@ def match_filter(
     node: DataNode,
     flt: Filter,
     index: Optional[Dict[str, DataNode]] = None,
+    document_index=None,
 ) -> List[Binding]:
     """Convenience wrapper: one-shot :class:`FilterMatcher` call."""
-    return FilterMatcher(index=index).match(node, flt)
+    return FilterMatcher(index=index, document_index=document_index).match(
+        node, flt
+    )

@@ -31,6 +31,13 @@ oracle: ``ExecutionPolicy.serial()`` disables kernels, and the fuzz
 suite checks byte-identical answers between the two.  Semantics match
 the interpreter exactly, including error messages, binding order, and
 the cartesian-explosion guard.
+
+Kernels can additionally run with a :class:`MatchContext` carrying a
+:class:`~repro.model.indexes.DocumentIndex`: items whose target demands
+constants seed their candidate children from the value index, and ``**``
+jumps straight to the label's positions, instead of scanning.  The index
+only ever *narrows* the candidates to a sound superset in document
+order, so bindings stay byte-identical with or without it.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ from repro.core.algebra.expressions import (
     FunCall,
     Var,
 )
+from repro.core.algebra.bind import collection_explosion
 from repro.errors import BindError, EvaluationError
 from repro.model.filters import (
     FConst,
@@ -62,10 +70,12 @@ from repro.model.filters import (
     LabelVar,
     MissingValue,
 )
+from repro.model.indexes import index_eligibility, required_constants
 from repro.model.trees import DataNode
 
 __all__ = [
     "CompiledFilter",
+    "MatchContext",
     "compile_filter",
     "compile_predicate",
     "compiled_filter",
@@ -79,8 +89,26 @@ def identity_deref(node: DataNode) -> DataNode:
     return node
 
 
-# A match function takes (node, deref) and returns a list of bindings.
-_MatchFn = Callable[[DataNode, Callable[[DataNode], DataNode]], List[dict]]
+class MatchContext:
+    """Per-match carrier of the document index and its usage counters.
+
+    Passing a context is purely an acceleration: kernels consult the
+    index only where :meth:`DocumentIndex.covers` proves it sound, and
+    fall back to scanning everywhere else.  ``seeks``/``hits`` feed the
+    ``yat_bind_index_*`` metrics and tracer span attributes.
+    """
+
+    __slots__ = ("index", "seeks", "hits")
+
+    def __init__(self, index) -> None:
+        self.index = index
+        self.seeks = 0
+        self.hits = 0
+
+
+# A match function takes (node, deref, ctx) and returns a list of
+# bindings; ctx is an optional MatchContext.
+_MatchFn = Callable[..., List[dict]]
 
 
 def _compile(flt: Filter, max_matches: int) -> _MatchFn:
@@ -89,7 +117,7 @@ def _compile(flt: Filter, max_matches: int) -> _MatchFn:
     if isinstance(flt, FVar):
         name = flt.name
 
-        def match_var(node, deref):
+        def match_var(node, deref, ctx=None):
             atom = node.atom
             if atom is not None:
                 return [{name: atom}]
@@ -99,7 +127,7 @@ def _compile(flt: Filter, max_matches: int) -> _MatchFn:
     if isinstance(flt, FConst):
         value = flt.value
 
-        def match_const(node, deref):
+        def match_const(node, deref, ctx=None):
             node = deref(node)
             atom = node.atom
             if atom is not None and atom == value:
@@ -109,12 +137,31 @@ def _compile(flt: Filter, max_matches: int) -> _MatchFn:
         return match_const
     if isinstance(flt, FDescend):
         inner = _compile(flt.child, max_matches)
+        # ``**`` into a literal label can jump straight to the label's
+        # positions instead of probing every descendant; the inner
+        # matcher re-checks the label, so the jump is a pure filter.
+        child = flt.child
+        seek_label = (
+            child.label
+            if isinstance(child, FElem) and isinstance(child.label, str)
+            else None
+        )
 
-        def match_descend(node, deref):
+        def match_descend(node, deref, ctx=None):
             node = deref(node)
-            out: List[dict] = []
+            if ctx is not None and seek_label is not None:
+                index = ctx.index
+                if index.covers(node):
+                    candidates = index.descendants_with_label(node, seek_label)
+                    ctx.seeks += 1
+                    ctx.hits += len(candidates)
+                    out: List[dict] = []
+                    for descendant in candidates:
+                        out.extend(inner(descendant, deref, ctx))
+                    return out
+            out = []
             for descendant in node.descendants():
-                out.extend(inner(descendant, deref))
+                out.extend(inner(descendant, deref, ctx))
             return out
 
         return match_descend
@@ -124,12 +171,12 @@ def _compile(flt: Filter, max_matches: int) -> _MatchFn:
             "element filter"
         )
 
-        def match_invalid(node, deref):
+        def match_invalid(node, deref, ctx=None):
             raise BindError(message)
 
         return match_invalid
 
-    def match_unknown(node, deref, _flt=flt):
+    def match_unknown(node, deref, ctx=None, _flt=flt):
         raise BindError(f"unknown filter kind: {_flt!r}")
 
     return match_unknown
@@ -193,24 +240,31 @@ def _compile_elem(flt: FElem, max_matches: int) -> _MatchFn:
     # (one alternative list per item, element fails on an empty list),
     # which is exactly the interpreter's behavior.
     rest_name: Optional[str] = None
-    item_specs: List[Tuple[_MatchFn, Optional[str]]] = []
+    item_specs: List[Tuple[_MatchFn, Optional[str], tuple]] = []
     indexable = 0
+    any_required = False
     for item in flt.children:
         if isinstance(item, FRest):
             rest_name = item.name
             continue
         target = item.child if isinstance(item, FStar) else item
         lookup: Optional[str] = None
+        required: tuple = ()
         if isinstance(target, FElem) and isinstance(target.label, str):
             lookup = target.label
             indexable += 1
-        item_specs.append((_compile(target, max_matches), lookup))
+            # Constants the target demands anywhere in a matching child's
+            # subtree (all non-rest items are mandatory) — the sargable
+            # keys a document value index can seek on.
+            required = required_constants(target)
+            any_required = any_required or bool(required)
+        item_specs.append((_compile(target, max_matches), lookup, required))
     # A label index pays off once two or more items can use it; with a
     # single item the dict build costs as much as the scan it replaces.
     use_index = indexable >= 2
     has_children_filter = bool(flt.children)
 
-    def match_elem(node, deref):
+    def match_elem(node, deref, ctx=None):
         node = deref(node)
         node_label = node.label
         if literal is not None:
@@ -237,6 +291,11 @@ def _compile_elem(flt: FElem, max_matches: int) -> _MatchFn:
                 out.append(merged)
             return out
         kids = node.children
+        doc_index = None
+        if ctx is not None and any_required:
+            doc_index = ctx.index
+            if not doc_index.covers(node):
+                doc_index = None
         by_label: Optional[Dict[str, List[DataNode]]] = None
         if use_index and kids:
             by_label = {}
@@ -244,14 +303,21 @@ def _compile_elem(flt: FElem, max_matches: int) -> _MatchFn:
                 by_label.setdefault(deref(child).label, []).append(child)
         claimed: set = set()
         alternatives: List[List[dict]] = []
-        for item_fn, lookup in item_specs:
-            if lookup is not None and by_label is not None:
+        for item_fn, lookup, required in item_specs:
+            if required and doc_index is not None:
+                # Associative access: only children whose subtree holds
+                # every required constant can match — a sound, ordered
+                # superset straight from the value index.
+                candidates = doc_index.child_candidates(node, lookup, required)
+                ctx.seeks += 1
+                ctx.hits += len(candidates)
+            elif lookup is not None and by_label is not None:
                 candidates = by_label.get(lookup, ())
             else:
                 candidates = kids
             alts: List[dict] = []
             for child in candidates:
-                bindings = item_fn(child, deref)
+                bindings = item_fn(child, deref, ctx)
                 if bindings:
                     claimed.add(id(child))
                     alts.extend(bindings)
@@ -290,7 +356,7 @@ def _compile_elem(flt: FElem, max_matches: int) -> _MatchFn:
 class CompiledFilter:
     """A filter compiled to closures, with its output schema precomputed."""
 
-    __slots__ = ("filter", "variables", "_match")
+    __slots__ = ("filter", "variables", "access", "_match", "_max_matches")
 
     def __init__(self, flt: Filter, max_matches: int = 1_000_000) -> None:
         self.filter = flt
@@ -298,16 +364,31 @@ class CompiledFilter:
         #: validates that no variable is bound twice, like the
         #: interpretive path does before matching).
         self.variables = flt.variables()
+        #: Static sargability analysis; ``access.seekable`` tells the
+        #: evaluator whether fetching a document index can pay off at all.
+        self.access = index_eligibility(flt)
         self._match = _compile(flt, max_matches)
+        self._max_matches = max_matches
 
-    def match(self, node: DataNode, deref=identity_deref) -> List[dict]:
-        return self._match(node, deref)
+    @property
+    def max_matches(self) -> int:
+        return self._max_matches
 
-    def match_collection(self, nodes, deref=identity_deref) -> List[dict]:
+    def match(
+        self, node: DataNode, deref=identity_deref, context=None
+    ) -> List[dict]:
+        return self._match(node, deref, context)
+
+    def match_collection(
+        self, nodes, deref=identity_deref, context=None
+    ) -> List[dict]:
         match = self._match
+        bound = self._max_matches
         out: List[dict] = []
         for node in nodes:
-            out.extend(match(node, deref))
+            out.extend(match(node, deref, context))
+            if len(out) > bound:
+                raise collection_explosion(bound)
         return out
 
     def __repr__(self) -> str:

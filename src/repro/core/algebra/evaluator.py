@@ -35,8 +35,12 @@ from repro.errors import (
     UnknownDocumentError,
     UnknownSourceError,
 )
-from repro.core.algebra.bind import FilterMatcher
-from repro.core.algebra.compiled import compiled_filter, compiled_predicate
+from repro.core.algebra.bind import FilterMatcher, collection_explosion
+from repro.core.algebra.compiled import (
+    MatchContext,
+    compiled_filter,
+    compiled_predicate,
+)
 from repro.core.algebra.operators import (
     BindOp,
     DJoinOp,
@@ -69,6 +73,7 @@ from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Row, Tab, tab_serialized_size
 from repro.core.algebra.tree import _orderable, construct
 from repro.model.filters import MISSING, MissingValue
+from repro.model.indexes import document_index, index_eligibility
 from repro.model.trees import DataNode
 from repro.model.xml_io import serialized_size
 
@@ -374,26 +379,59 @@ def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
 
 def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
     input_tab = _evaluate(plan.input, env, outer)
+    # Associative access: when the policy allows it and the filter is
+    # sargable, each matched document's lazy label/value index seeds the
+    # match instead of a full scan.  The index yields ordered supersets
+    # of candidates only, so bindings are byte-identical either way.
+    use_indexes = env.policy.use_document_indexes
+    seeks = hits = builds = 0
+    build_seconds = 0.0
+    matcher: Optional[FilterMatcher] = None
     if env.policy.compile_kernels:
         kernel = compiled_filter(plan.filter)
         deref = env.deref()
         variables = kernel.variables
+        seekable = use_indexes and kernel.access.seekable
+        bound = kernel.max_matches
 
         def match_one(target):
+            nonlocal seeks, hits, builds, build_seconds
+            if seekable:
+                index, built = document_index(target)
+                if built:
+                    builds += 1
+                    build_seconds += index.build_seconds
+                if index is not None:
+                    context = MatchContext(index)
+                    bindings = kernel.match(target, deref, context)
+                    seeks += context.seeks
+                    hits += context.hits
+                    return bindings
             return kernel.match(target, deref)
-
-        def match_many(targets):
-            return kernel.match_collection(targets, deref)
 
     else:
         matcher = FilterMatcher(index=env.ident_index())
         variables = plan.filter.variables()
+        seekable = use_indexes and index_eligibility(plan.filter).seekable
+        bound = matcher.max_matches
 
         def match_one(target):
+            nonlocal builds, build_seconds
+            if seekable:
+                index, built = document_index(target)
+                if built:
+                    builds += 1
+                    build_seconds += index.build_seconds
+                matcher.document_index = index
             return matcher.match(target, plan.filter)
 
-        def match_many(targets):
-            return matcher.match_collection(targets, plan.filter)
+    def match_many(targets):
+        bindings: List[dict] = []
+        for target in targets:
+            bindings.extend(match_one(target))
+            if len(bindings) > bound:
+                raise collection_explosion(bound)
+        return bindings
 
     out_columns = tuple(
         c for c in input_tab.columns if plan.keep_on or c != plan.on
@@ -417,7 +455,19 @@ def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
                 binding.get(var, MISSING) for var in variables
             )
             rows.append(Row(out_columns, cells))
+    if matcher is not None:
+        seeks += matcher.seeks
+        hits += matcher.hits
     env.stats.record_operator("Bind", len(rows))
+    if seeks or builds:
+        env.stats.record_bind_index(seeks, hits, builds, build_seconds)
+    if env.tracer is not None:
+        if seeks:
+            env.tracer.annotate(
+                access="index-seek", index_seeks=seeks, index_hits=hits
+            )
+        else:
+            env.tracer.annotate(access="scan")
     return Tab(out_columns, rows)
 
 

@@ -57,12 +57,16 @@ class ExecutionPolicy:
     tuple instead of once per left row.  ``compile_kernels`` runs Bind
     filters and Select/Join predicates through the compiled closures of
     :mod:`repro.core.algebra.compiled` instead of the interpretive
-    matcher/evaluator.  All three are on by default: they never change
-    the produced Tab, only the amount of mediator work.
+    matcher/evaluator.  ``use_document_indexes`` lets seekable Bind
+    filters consult the lazy per-document label/value indexes of
+    :mod:`repro.model.indexes` (associative access) instead of scanning.
+    All are on by default: they never change the produced Tab, only the
+    amount of mediator work.
     """
 
     __slots__ = (
-        "parallelism", "cache_source_calls", "batch_djoin", "compile_kernels"
+        "parallelism", "cache_source_calls", "batch_djoin",
+        "compile_kernels", "use_document_indexes",
     )
 
     def __init__(
@@ -71,6 +75,7 @@ class ExecutionPolicy:
         cache_source_calls: bool = True,
         batch_djoin: bool = True,
         compile_kernels: bool = True,
+        use_document_indexes: bool = True,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -78,16 +83,19 @@ class ExecutionPolicy:
         self.cache_source_calls = cache_source_calls
         self.batch_djoin = batch_djoin
         self.compile_kernels = compile_kernels
+        self.use_document_indexes = use_document_indexes
 
     @classmethod
     def serial(cls) -> "ExecutionPolicy":
         """The seed behavior, byte for byte: no pool, no cache, no
-        batching, interpretive matching (the differential oracle)."""
+        batching, interpretive matching, no indexes (the differential
+        oracle)."""
         return cls(
             parallelism=1,
             cache_source_calls=False,
             batch_djoin=False,
             compile_kernels=False,
+            use_document_indexes=False,
         )
 
     @classmethod
@@ -104,7 +112,8 @@ class ExecutionPolicy:
             f"ExecutionPolicy(parallelism={self.parallelism}, "
             f"cache_source_calls={self.cache_source_calls}, "
             f"batch_djoin={self.batch_djoin}, "
-            f"compile_kernels={self.compile_kernels})"
+            f"compile_kernels={self.compile_kernels}, "
+            f"use_document_indexes={self.use_document_indexes})"
         )
 
 

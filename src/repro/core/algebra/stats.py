@@ -60,6 +60,13 @@ class ExecutionStats:
         self.batched_calls: int = 0
         #: Plan branches dispatched to the scheduler's thread pool.
         self.parallel_branches: int = 0
+        #: Document-index consultations by Bind (associative access):
+        #: seeks issued, candidate nodes returned, indexes built during
+        #: this execution and the time spent building them.
+        self.bind_index_seeks: int = 0
+        self.bind_index_hits: int = 0
+        self.bind_index_builds: int = 0
+        self.bind_index_build_seconds: float = 0.0
 
     # -- recording -----------------------------------------------------------
 
@@ -131,6 +138,16 @@ class ExecutionStats:
         with self._lock:
             self.parallel_branches += branches
 
+    def record_bind_index(
+        self, seeks: int, hits: int, builds: int, build_seconds: float
+    ) -> None:
+        """Record one Bind's document-index usage (associative access)."""
+        with self._lock:
+            self.bind_index_seeks += seeks
+            self.bind_index_hits += hits
+            self.bind_index_builds += builds
+            self.bind_index_build_seconds += build_seconds
+
     # -- totals ---------------------------------------------------------------
 
     @property
@@ -176,6 +193,10 @@ class ExecutionStats:
             "total_cache_hits": self.total_cache_hits,
             "batched_calls": self.batched_calls,
             "parallel_branches": self.parallel_branches,
+            "bind_index_seeks": self.bind_index_seeks,
+            "bind_index_hits": self.bind_index_hits,
+            "bind_index_builds": self.bind_index_builds,
+            "bind_index_build_seconds": self.bind_index_build_seconds,
         }
 
     def summary(self) -> str:
@@ -201,6 +222,12 @@ class ExecutionStats:
                 f"scheduler: {self.total_cache_hits} cache hits, "
                 f"{self.batched_calls} batched calls, "
                 f"{self.parallel_branches} parallel branches"
+            )
+        if self.bind_index_seeks or self.bind_index_builds:
+            lines.append(
+                f"bind index: {self.bind_index_seeks} seeks, "
+                f"{self.bind_index_hits} hits, "
+                f"{self.bind_index_builds} builds"
             )
         if self.total_failures or self.total_retries:
             lines.append(

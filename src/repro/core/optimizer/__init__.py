@@ -17,7 +17,13 @@ from repro.core.optimizer.capabilities import (
     CapabilityPushdownRule,
     EquivalenceInsertionRule,
 )
-from repro.core.optimizer.cost import CostHints, Estimate, estimate, estimate_cost
+from repro.core.optimizer.cost import (
+    CostHints,
+    Estimate,
+    choose_bind_access,
+    estimate,
+    estimate_cost,
+)
 from repro.core.optimizer.info_passing import BindJoinRule
 from repro.core.optimizer.planner import (
     Optimizer,
@@ -66,6 +72,7 @@ __all__ = [
     "TreeDecompositionRule",
     "decompose_tree",
     "apply_rules_once",
+    "choose_bind_access",
     "estimate",
     "estimate_cost",
     "navigation_to_extent_join",

@@ -35,6 +35,7 @@ from repro.mediator.execution import ExecutionReport, run_plan
 from repro.mediator.plan_cache import CachedPlan, PlanCache, rebind_plan
 from repro.mediator.resilience import ResiliencePolicy
 from repro.mediator.views import VIEW_SOURCE, ViewRegistry
+from repro.model.indexes import invalidate_document_indexes
 from repro.model.trees import DataNode
 from repro.sources.wais.index import document_contains
 from repro.wrappers.base import Wrapper
@@ -216,6 +217,9 @@ class Mediator:
         self._probe_cache.clear()
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
+        # Document trees may be re-exported after a catalog change; the
+        # lazily built label/value indexes over them follow the epoch.
+        invalidate_document_indexes()
 
     # -- planning ------------------------------------------------------------------
 
@@ -434,13 +438,36 @@ class Mediator:
         given) and every node is annotated with its actuals — number of
         evaluations, rows produced, inclusive wall time, source calls,
         bytes and cache hits.
+
+        Every Bind node is annotated with the access path the cost model
+        chose for it — ``bind: index-seek on (artist,'Picasso')`` when
+        the filter is sargable and document indexes are enabled under
+        the effective execution policy, ``bind: scan`` otherwise.
         """
+        from repro.core.algebra.operators import BindOp
+        from repro.core.optimizer.cost import choose_bind_access
         from repro.observability.explain import Explanation
         from repro.observability.tracer import Tracer
 
         naive, optimized, trace, cached = self._plan_text(
             text, optimize, rounds
         )
+        effective = execution if execution is not None else self.execution
+        indexes_on = effective is None or effective.use_document_indexes
+        hints = self.cost_hints()
+        access_paths = {}
+        for node in optimized.walk():
+            if isinstance(node, BindOp):
+                access = (
+                    choose_bind_access(node, hints)
+                    if indexes_on
+                    else None
+                )
+                access_paths[id(node)] = (
+                    f"bind: {access.describe()}"
+                    if access is not None
+                    else "bind: scan"
+                )
         report = None
         if analyze:
             if tracer is None:
@@ -453,7 +480,7 @@ class Mediator:
             tracer = None  # a plan-only EXPLAIN never executes anything
         return Explanation(
             text, naive, optimized, trace, report=report, tracer=tracer,
-            cached=cached,
+            cached=cached, access_paths=access_paths,
         )
 
     def _absorb_actuals(self, plan: Plan, tracer) -> None:

@@ -97,8 +97,10 @@ def _instance(
         if node.is_reference:
             return len(pattern.children) == 1 and isinstance(pattern.children[0], PRef)
         unordered = node.collection in UNORDERED_KINDS
+        # Both tuples are already immutable sequences; copying them to
+        # lists on every node match was pure allocation churn.
         return _sequence_match(
-            list(node.children), list(pattern.children), library, active, unordered
+            node.children, pattern.children, library, active, unordered
         )
     raise TypeError(f"unknown pattern kind: {pattern!r}")
 
@@ -127,8 +129,8 @@ def _atom_content_matches(
 
 
 def _sequence_match(
-    children: List[DataNode],
-    items: List[Pattern],
+    children: Sequence[DataNode],
+    items: Sequence[Pattern],
     library: Optional[PatternLibrary],
     active: Set[Tuple[int, tuple]],
     unordered: bool,
@@ -174,8 +176,8 @@ def _sequence_match(
 
 
 def _unordered_match(
-    children: List[DataNode],
-    items: List[Pattern],
+    children: Sequence[DataNode],
+    items: Sequence[Pattern],
     library: Optional[PatternLibrary],
     active: Set[Tuple[int, tuple]],
 ) -> bool:
@@ -279,7 +281,7 @@ def _subsumes_inner(
         if general.collection is not None and general.collection != specific.collection:
             return False
         return _sequence_subsumes(
-            list(general.children), list(specific.children), library, active
+            general.children, specific.children, library, active
         )
     if isinstance(general, PAny):
         return True
@@ -287,8 +289,8 @@ def _subsumes_inner(
 
 
 def _sequence_subsumes(
-    general_items: List[Pattern],
-    specific_items: List[Pattern],
+    general_items: Sequence[Pattern],
+    specific_items: Sequence[Pattern],
     library: Optional[PatternLibrary],
     active: Set[Tuple[tuple, tuple]],
 ) -> bool:

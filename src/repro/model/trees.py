@@ -34,7 +34,7 @@ class DataNode:
 
     __slots__ = (
         "label", "children", "atom", "ident", "ref_target", "collection",
-        "_vkey", "_vhash", "_ssize",
+        "_vkey", "_vhash", "_ssize", "_nsize",
     )
 
     def __init__(
@@ -67,6 +67,9 @@ class DataNode:
         #: Serialized byte size, cached by ``xml_io.serialized_size`` —
         #: transfer statistics re-measure shared trees on every call.
         self._ssize: Optional[int] = None
+        #: Node count, cached by ``size()`` — the index registry's size
+        #: gate consults it on every Bind over an uncached document.
+        self._nsize: Optional[int] = None
 
     # -- classification ----------------------------------------------------
 
@@ -132,7 +135,10 @@ class DataNode:
 
     def size(self) -> int:
         """Number of nodes in the subtree rooted here."""
-        return sum(1 for _node in self.descendants())
+        count = self._nsize
+        if count is None:
+            count = self._nsize = sum(1 for _node in self.descendants())
+        return count
 
     def depth(self) -> int:
         """Height of the subtree (a leaf has depth 1)."""

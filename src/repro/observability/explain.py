@@ -35,7 +35,7 @@ class NodeActuals:
     """
 
     __slots__ = ("evals", "rows", "wall", "cpu", "calls", "bytes",
-                 "cache_hits", "native")
+                 "cache_hits", "index_seeks", "index_hits", "native")
 
     def __init__(self) -> None:
         self.evals = 0
@@ -45,6 +45,8 @@ class NodeActuals:
         self.calls = 0
         self.bytes = 0
         self.cache_hits = 0
+        self.index_seeks = 0
+        self.index_hits = 0
         #: First native query text this node executed (``Pushed`` only).
         self.native: Optional[str] = None
 
@@ -60,6 +62,9 @@ class NodeActuals:
             parts.append(f"bytes={self.bytes}")
         if self.cache_hits:
             parts.append(f"cache={self.cache_hits}")
+        if self.index_seeks:
+            parts.append(f"seeks={self.index_seeks}")
+            parts.append(f"seek_hits={self.index_hits}")
         return " ".join(parts)
 
     def __repr__(self) -> str:
@@ -90,6 +95,8 @@ def collect_actuals(tracer) -> Dict[int, NodeActuals]:
         entry.calls += int(span.attrs.get("calls", 0))  # type: ignore[arg-type]
         entry.bytes += int(span.attrs.get("bytes", 0))  # type: ignore[arg-type]
         entry.cache_hits += int(span.attrs.get("cache_hits", 0))  # type: ignore[arg-type]
+        entry.index_seeks += int(span.attrs.get("index_seeks", 0))  # type: ignore[arg-type]
+        entry.index_hits += int(span.attrs.get("index_hits", 0))  # type: ignore[arg-type]
         native = span.attrs.get("native")
         if entry.native is None and isinstance(native, str):
             entry.native = native
@@ -102,12 +109,13 @@ def _plan_rows(
     actuals: Optional[Dict[int, NodeActuals]],
     out: List[Tuple[str, str]],
     native_at: Optional[str],
+    access_paths: Optional[Dict[int, str]] = None,
 ) -> None:
     pad = "  " * depth
     if native_at is not None:
         out.append((f"{pad}{plan.describe()}", f"runs at {native_at}"))
         for child in plan.children():
-            _plan_rows(child, depth + 1, actuals, out, native_at)
+            _plan_rows(child, depth + 1, actuals, out, native_at, access_paths)
         return
     if isinstance(plan, PushedOp):
         annotation = ""
@@ -123,23 +131,34 @@ def _plan_rows(
             # call (information passing); show the first instantiation.
             label = "native" if entry.evals == 1 else f"native (1 of {entry.evals})"
             out.append((f"{pad}  {label}: {entry.native}", ""))
-        _plan_rows(plan.plan, depth + 1, actuals, out, plan.source)
+        _plan_rows(plan.plan, depth + 1, actuals, out, plan.source, access_paths)
         return
-    annotation = ""
+    parts = []
+    if access_paths is not None:
+        access = access_paths.get(id(plan))
+        if access:
+            parts.append(access)
     if actuals is not None:
         entry = actuals.get(id(plan))
-        annotation = entry.describe() if entry is not None else "(not evaluated)"
-    out.append((f"{pad}{plan.describe()}", annotation))
+        parts.append(entry.describe() if entry is not None else "(not evaluated)")
+    out.append((f"{pad}{plan.describe()}", " ".join(parts)))
     for child in plan.children():
-        _plan_rows(child, depth + 1, actuals, out, None)
+        _plan_rows(child, depth + 1, actuals, out, None, access_paths)
 
 
 def render_plan(
-    plan: Plan, actuals: Optional[Dict[int, NodeActuals]] = None
+    plan: Plan,
+    actuals: Optional[Dict[int, NodeActuals]] = None,
+    access_paths: Optional[Dict[int, str]] = None,
 ) -> str:
-    """The plan tree, one node per line, actuals right-aligned when given."""
+    """The plan tree, one node per line, actuals right-aligned when given.
+
+    ``access_paths`` maps plan-node ids to the optimizer's chosen Bind
+    access path (``bind: index-seek on (artist,'Picasso')`` / ``bind:
+    scan``); the text joins the annotation column.
+    """
     rows: List[Tuple[str, str]] = []
-    _plan_rows(plan, 0, actuals, rows, None)
+    _plan_rows(plan, 0, actuals, rows, None, access_paths)
     if not any(annotation for _text, annotation in rows):
         return "\n".join(text for text, _annotation in rows)
     # Align the annotation column on the annotated lines only; a long
@@ -179,7 +198,8 @@ class Explanation:
     """Everything :meth:`Mediator.explain` learned about one query."""
 
     __slots__ = (
-        "query", "naive_plan", "plan", "rewrites", "report", "tracer", "cached"
+        "query", "naive_plan", "plan", "rewrites", "report", "tracer",
+        "cached", "access_paths",
     )
 
     def __init__(
@@ -191,11 +211,15 @@ class Explanation:
         report=None,
         tracer=None,
         cached: bool = False,
+        access_paths: Optional[Dict[int, str]] = None,
     ) -> None:
         self.query = query
         self.naive_plan = naive_plan
         self.plan = plan
         self.rewrites = rewrites
+        #: ``{id(plan node): "bind: index-seek on ..."}`` — the access
+        #: path the cost model chose for each Bind in the plan.
+        self.access_paths = access_paths
         #: :class:`~repro.mediator.execution.ExecutionReport` under
         #: ``analyze=True``; ``None`` for plain EXPLAIN.
         self.report = report
@@ -222,7 +246,7 @@ class Explanation:
             lines.append("plan: cached")
         lines.append(f"plan ({rewrites} rewrites applied):")
         actuals = self.actuals()
-        lines.append(render_plan(self.plan, actuals))
+        lines.append(render_plan(self.plan, actuals, self.access_paths))
         pushdown = _pushdown_lines(self.plan, actuals)
         if pushdown:
             lines.append("")

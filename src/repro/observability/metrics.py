@@ -427,6 +427,22 @@ def record_execution(
         "yat_parallel_branches_total",
         "Plan branches dispatched to the scheduler pool.",
     ).inc(stats.parallel_branches)
+    registry.counter(
+        "yat_bind_index_seeks_total",
+        "Document-index seeks issued by Bind (associative access).",
+    ).inc(stats.bind_index_seeks)
+    registry.counter(
+        "yat_bind_index_hits_total",
+        "Candidate nodes returned by Bind document-index seeks.",
+    ).inc(stats.bind_index_hits)
+    registry.counter(
+        "yat_bind_index_builds_total",
+        "Document indexes built lazily during execution.",
+    ).inc(stats.bind_index_builds)
+    registry.counter(
+        "yat_bind_index_build_seconds_total",
+        "Wall time spent building document indexes.",
+    ).inc(stats.bind_index_build_seconds)
 
     trace = getattr(report, "trace", None)
     if trace is not None:
@@ -461,6 +477,7 @@ def record_plan_cache(registry: MetricsRegistry, mediator) -> None:
     records nothing for the plan-cache family.
     """
     from repro.core.algebra.compiled import kernel_cache_stats
+    from repro.model.indexes import index_registry_stats
 
     cache = getattr(mediator, "plan_cache", None)
     if cache is not None:
@@ -492,3 +509,18 @@ def record_plan_cache(registry: MetricsRegistry, mediator) -> None:
     registry.gauge(
         "yat_kernel_compiles", "Kernel compilations performed."
     ).set(kernels["compiles"])
+    indexes = index_registry_stats()
+    registry.gauge(
+        "yat_document_indexes", "Document indexes currently cached."
+    ).set(indexes["indexed"])
+    registry.gauge(
+        "yat_document_index_builds", "Document indexes built since start."
+    ).set(indexes["builds"])
+    registry.gauge(
+        "yat_document_index_hits",
+        "Document-index registry lookups served from cache.",
+    ).set(indexes["hits"])
+    registry.gauge(
+        "yat_document_index_build_seconds",
+        "Cumulative wall time spent building document indexes.",
+    ).set(indexes["build_seconds"])

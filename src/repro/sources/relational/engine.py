@@ -90,6 +90,8 @@ class SqlDatabase:
         self._connection = sqlite3.connect(":memory:", check_same_thread=False)
         self._query_lock = threading.Lock()
         self._tables: Dict[str, SqlTable] = {}
+        #: Monotonic data version; wrappers key document memos on it.
+        self.version = 0
 
     def close(self) -> None:
         self._connection.close()
@@ -105,6 +107,7 @@ class SqlDatabase:
         )
         self._connection.execute(f"CREATE TABLE {table.name} ({columns_sql})")
         self._tables[table.name] = table
+        self.version += 1
 
     def table(self, name: str) -> SqlTable:
         try:
@@ -136,6 +139,8 @@ class SqlDatabase:
             self._connection.execute(sql, values)
             count += 1
         self._connection.commit()
+        if count:
+            self.version += 1
         return count
 
     # -- queries --------------------------------------------------------------------

@@ -40,6 +40,8 @@ class WaisStore:
         self._documents: Dict[str, DataNode] = {}
         self._order: List[str] = []
         self._index = InvertedIndex()
+        #: Monotonic data version; wrappers key document memos on it.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -56,6 +58,7 @@ class WaisStore:
         self._documents[doc_id] = stored
         self._order.append(doc_id)
         self._index.add_document(doc_id, stored)
+        self.version += 1
         return doc_id
 
     def add_all(self, documents: Iterable[DataNode]) -> Tuple[str, ...]:

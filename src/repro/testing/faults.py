@@ -344,6 +344,11 @@ class FaultyWrapper(Wrapper):
 
     # -- execution-time fault injection --------------------------------------------
 
+    def build_document(self, name: str) -> DataNode:
+        # Unreachable through the faulted ``document`` override below;
+        # defined so this class satisfies the Wrapper ABC.
+        return self.inner.document(name)
+
     def document(self, name: str) -> DataNode:
         self.injector.before("document")
         return self.inner.document(name)

@@ -120,6 +120,8 @@ class Wrapper(SourceAdapter):
         #: id stable for the lifetime of the entry (same idiom as the
         #: evaluator's per-plan memos).
         self._fragments: Dict[int, Tuple[Plan, PushedFragment]] = {}
+        #: ``name -> (data version, tree)`` memo behind :meth:`document`.
+        self._documents: Dict[str, Tuple[int, DataNode]] = {}
 
     def document_name_set(self) -> frozenset:
         """Exported document names as a set, cached after the first call.
@@ -233,6 +235,37 @@ class Wrapper(SourceAdapter):
         sources override this using their index's document frequencies.
         """
         return None
+
+    # -- document export ----------------------------------------------------------
+
+    def data_version(self) -> int:
+        """Monotonic version of the source's data; any change bumps it.
+
+        Wrappers over mutable stores override this with the store's own
+        version counter.  The default (a constant) means "immutable",
+        which keeps the document memo valid forever.
+        """
+        return 0
+
+    def document(self, name: str) -> DataNode:
+        """The named document tree, memoized per data version.
+
+        Rebuilding the export on every call would give each query a
+        *different* root object, defeating both the mediator's document
+        indexes (keyed by tree identity) and any caching above us; the
+        memo serves one stable tree until :meth:`data_version` moves.
+        """
+        version = self.data_version()
+        entry = self._documents.get(name)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        tree = self.build_document(name)
+        self._documents[name] = (version, tree)
+        return tree
+
+    @abstractmethod
+    def build_document(self, name: str) -> DataNode:
+        """Construct the named document's tree (one full export)."""
 
     # -- SourceAdapter defaults ---------------------------------------------------
 

@@ -116,7 +116,10 @@ class O2Wrapper(Wrapper):
     def document_names(self) -> Tuple[str, ...]:
         return self._db.extent_names()
 
-    def document(self, name: str) -> DataNode:
+    def data_version(self) -> int:
+        return self._db.version
+
+    def build_document(self, name: str) -> DataNode:
         return self._db.export_extent(name)
 
     def ident_index(self) -> Dict[str, DataNode]:

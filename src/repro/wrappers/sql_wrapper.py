@@ -109,7 +109,10 @@ class SqlWrapper(Wrapper):
     def document_names(self) -> Tuple[str, ...]:
         return self._db.table_names()
 
-    def document(self, name: str) -> DataNode:
+    def data_version(self) -> int:
+        return self._db.version
+
+    def build_document(self, name: str) -> DataNode:
         return self._db.export_table(name)
 
     def ident_index(self) -> Dict[str, DataNode]:

@@ -135,7 +135,10 @@ class WaisWrapper(Wrapper):
     def document_names(self) -> Tuple[str, ...]:
         return (self._document_name,)
 
-    def document(self, name: str) -> DataNode:
+    def data_version(self) -> int:
+        return self._store.version
+
+    def build_document(self, name: str) -> DataNode:
         if name != self._document_name:
             raise SourceError(f"Wais source exports no document {name!r}")
         return self._store.collection_tree()

@@ -125,6 +125,49 @@ class TestSchedulerSoundness:
             assert mediator.query(Q1, optimize=optimize).document() == reference
 
 
+class TestIndexSoundness:
+    """Document-index differential: indexes must never change a byte.
+
+    The oracle runs with ``use_document_indexes=False`` (pure scans,
+    the pre-index semantics); the subject runs with indexes enabled on
+    an otherwise identical serial policy.  Index seeks only prune
+    candidate children to ordered supersets, so every dataset shape and
+    query must serialize identically.
+    """
+
+    @given(params=datasets)
+    @settings(max_examples=20, deadline=None)
+    def test_indexed_answers_are_byte_identical(self, params):
+        scan_policy = ExecutionPolicy(use_document_indexes=False)
+        indexed_policy = ExecutionPolicy(use_document_indexes=True)
+        for name, text in QUERIES.items():
+            reference = tree_to_xml(
+                build(params, declare_containment=False, execution=scan_policy)
+                .query(text).document()
+            )
+            indexed = tree_to_xml(
+                build(
+                    params, declare_containment=False, execution=indexed_policy
+                ).query(text).document()
+            )
+            assert indexed == reference, f"index divergence on {name}"
+
+    @given(params=datasets)
+    @settings(max_examples=10, deadline=None)
+    def test_indexed_unoptimized_answers_are_byte_identical(self, params):
+        # Without the optimizer the raw view plan runs every Bind; the
+        # differential must hold there too.
+        scan = build(
+            params, declare_containment=False,
+            execution=ExecutionPolicy(use_document_indexes=False),
+        ).query(Q2, optimize=False).document()
+        indexed = build(
+            params, declare_containment=False,
+            execution=ExecutionPolicy(use_document_indexes=True),
+        ).query(Q2, optimize=False).document()
+        assert tree_to_xml(indexed) == tree_to_xml(scan)
+
+
 class TestCompileOnceSoundness:
     """Plan-cache + compiled-kernel differential against the seed path.
 
