@@ -60,10 +60,33 @@ def load_rows(path: Path) -> dict:
     return rows
 
 
+def check_acceptance(current: dict) -> list:
+    """Failed ``*_ok`` acceptance booleans in the current report.
+
+    Benchmarks with hard acceptance criteria (e.g. the serving layer's
+    overload contract) emit boolean metrics named ``*_ok``; any that is
+    ``False`` fails the check regardless of timings, because it encodes
+    a behavioral contract, not a machine-speed comparison.
+    """
+    failed = []
+    for (name, params), metrics in current.items():
+        for metric, value in metrics.items():
+            if metric.endswith("_ok") and value is False:
+                failed.append(f"{name}{dict(params)}::{metric}")
+    return failed
+
+
 def compare(baseline_path: Path, current_path: Path, threshold: float,
             noise_floor: float, slack: float) -> int:
     baseline = load_rows(baseline_path)
     current = load_rows(current_path)
+
+    failed_acceptance = check_acceptance(current)
+    if failed_acceptance:
+        print("ACCEPTANCE FAILURES (boolean gates in the current report):")
+        for label in failed_acceptance:
+            print(f"  {label}")
+        return 1
 
     pairs = []  # (label, base_s, cur_s, ratio)
     for key, base_metrics in baseline.items():

@@ -553,6 +553,48 @@ def report_plan_cache():
               f"{speedup:8.1f}x {str(identical):>5}")
 
 
+def report_serving():
+    banner("S1 — concurrent serving: capacity, overload shedding, goodput")
+    try:
+        from benchmarks.bench_serving import serving_rows
+    except ImportError:
+        from bench_serving import serving_rows
+
+    uncontended, saturated, overload, acceptance = serving_rows(
+        n_artifacts=15 if SMOKE else 25,
+        requests=60 if QUICK else 120,
+    )
+    print(f"{'phase':>12} {'offered':>8} {'done':>6} {'qps':>8} "
+          f"{'p50 ms':>8} {'p99 ms':>8} {'shed':>6} {'degraded':>9}")
+    for label, row in [("uncontended", uncontended),
+                       ("saturated", saturated), ("overload", overload)]:
+        # Latencies are load-shaped, not machine-speed-shaped, so they
+        # are emitted in ms (outside the regression checker's timing
+        # comparison); the acceptance booleans are the gate instead.
+        emit(
+            "serving",
+            {"phase": label},
+            offered=row.offered,
+            completed=row.completed,
+            qps=row.qps,
+            p50_ms=row.p50 * 1e3,
+            p99_ms=row.p99 * 1e3,
+            shed=row.shed,
+            degraded=row.degraded,
+            goodput=row.goodput,
+            max_reject_ms=row.max_reject_seconds * 1e3,
+        )
+        print(f"{label:>12} {row.offered:8d} {row.completed:6d} "
+              f"{row.qps:8.1f} {row.p50 * 1e3:8.2f} {row.p99 * 1e3:8.2f} "
+              f"{row.shed:6d} {row.degraded:9d}")
+    emit("serving_acceptance", {}, **acceptance)
+    for name, passed in acceptance.items():
+        print(f"  {name}: {'PASS' if passed else 'FAIL'}")
+    # A failed gate is reported in the JSON (check_regressions.py fails
+    # on any *_ok: false) rather than aborting here, so the report file
+    # always reflects this run.
+
+
 def main():
     print("YAT reproduction — experiment report"
           + (f" ({REPORT['mode']} mode)" if QUICK else ""))
@@ -567,6 +609,7 @@ def main():
     report_observability()
     report_plan_cache()
     report_bind_index()
+    report_serving()
     out_path = Path(__file__).resolve().parent.parent / "BENCH_report.json"
     out_path.write_text(json.dumps(REPORT, indent=2) + "\n")
     print(f"\nwrote {len(REPORT['benchmarks'])} benchmark rows to {out_path.name}")

@@ -24,6 +24,7 @@ Quickstart::
 
 from repro.core.algebra import evaluate
 from repro.core.optimizer import Optimizer, OptimizerContext, optimize
+from repro.errors import OverloadedError, QuotaExceededError
 from repro.mediator import (
     ExecutionPolicy,
     Mediator,
@@ -34,9 +35,11 @@ from repro.mediator import (
 from repro.observability import (
     Explanation,
     MetricsRegistry,
+    RequestContext,
     Tracer,
     record_execution,
 )
+from repro.server import MediatorServer, ServerConfig
 from repro.wrappers import O2Wrapper, SqlWrapper, WaisWrapper
 from repro.yatl import parse_program, parse_query
 
@@ -46,13 +49,18 @@ __all__ = [
     "ExecutionPolicy",
     "Explanation",
     "Mediator",
+    "MediatorServer",
     "MetricsRegistry",
     "O2Wrapper",
     "Optimizer",
     "OptimizerContext",
+    "OverloadedError",
     "QueryResult",
+    "QuotaExceededError",
+    "RequestContext",
     "ResiliencePolicy",
     "RetryPolicy",
+    "ServerConfig",
     "SqlWrapper",
     "Tracer",
     "WaisWrapper",

@@ -43,6 +43,7 @@ order, so bindings stay byte-identical with or without it.
 from __future__ import annotations
 
 import operator as _operator
+import threading as _threading
 from itertools import product
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -514,32 +515,47 @@ class _KernelCache:
     recycled id can never serve a stale kernel (the identity check
     rejects it).  Plans are immutable, so compiling per object identity
     is sound.  When full, the memo is simply cleared — recompilation is
-    cheap and the bound exists only to keep long-lived servers flat.
+    cheap and the bound exists only to keep long-lived servers flat;
+    ``evictions`` counts the entries dropped by those clears.
+
+    Shared process-wide across every concurrent execution, so lookups
+    and stores are locked; the compile itself runs outside the lock (two
+    threads missing on one key both compile — either kernel is correct).
     """
 
-    __slots__ = ("_entries", "_capacity", "hits", "misses")
+    __slots__ = ("_lock", "_entries", "_capacity", "hits", "misses", "evictions")
 
     def __init__(self, capacity: int = 4096) -> None:
+        self._lock = _threading.Lock()
         self._entries: Dict[int, tuple] = {}
         self._capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, obj, build):
         key = id(obj)
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] is obj:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is obj:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
         value = build(obj)
-        if len(self._entries) >= self._capacity:
-            self._entries.clear()
-        self._entries[key] = (obj, value)
+        with self._lock:
+            if len(self._entries) >= self._capacity:
+                self.evictions += len(self._entries)
+                self._entries.clear()
+            self._entries[key] = (obj, value)
         return value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
 
 _FILTER_KERNELS = _KernelCache()
@@ -563,6 +579,8 @@ def kernel_cache_stats() -> Dict[str, int]:
         "predicate_kernels": len(_PREDICATE_KERNELS),
         "hits": _FILTER_KERNELS.hits + _PREDICATE_KERNELS.hits,
         "compiles": _FILTER_KERNELS.misses + _PREDICATE_KERNELS.misses,
+        "evictions": _FILTER_KERNELS.evictions + _PREDICATE_KERNELS.evictions,
+        "capacity": _FILTER_KERNELS.capacity + _PREDICATE_KERNELS.capacity,
     }
 
 

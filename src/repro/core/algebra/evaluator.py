@@ -69,6 +69,7 @@ from repro.core.algebra.scheduling import (
     plan_parameters,
 )
 from repro.core.algebra.skolem import SkolemRegistry
+from repro.observability.context import RequestContext
 from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Row, Tab, tab_serialized_size
 from repro.core.algebra.tree import _orderable, construct
@@ -125,6 +126,7 @@ class Environment:
         resilience=None,
         policy: Optional[ExecutionPolicy] = None,
         tracer=None,
+        context=None,
     ) -> None:
         self.sources = dict(sources)
         self.functions = dict(functions or {})
@@ -134,16 +136,33 @@ class Environment:
         #: when set and permitting partial results, Union branches and
         #: ident indexes of unavailable sources degrade instead of failing.
         self.resilience = resilience
+        #: Federated scheduling knobs; the default keeps evaluation
+        #: strictly serial (parallelism=1) with caching and batching on.
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        #: The :class:`~repro.observability.context.RequestContext` this
+        #: evaluation runs under.  The environment *finalizes* it: the
+        #: kernel mode always follows the execution policy, an explicit
+        #: ``tracer=`` argument wins over the context's, and the
+        #: per-request source-call cache is created here when the policy
+        #: asks for one.  Callers that pass no context get a fresh
+        #: anonymous one, so evaluation never falls back to globals.
+        if context is None:
+            context = RequestContext(tracer=tracer)
+        elif tracer is None:
+            tracer = context.tracer
+        context.tracer = tracer
+        context.compile_kernels = self.policy.compile_kernels
+        if self.policy.cache_source_calls:
+            if context.call_cache is None:
+                context.call_cache = SourceCallCache()
+        else:
+            context.call_cache = None
+        self.context = context
         #: Optional :class:`~repro.observability.tracer.Tracer`.  ``None``
         #: (the default) keeps the untraced fast path: every hook in this
         #: module is a single attribute read plus an ``is None`` test.
         self.tracer = tracer
-        #: Federated scheduling knobs; the default keeps evaluation
-        #: strictly serial (parallelism=1) with caching and batching on.
-        self.policy = policy if policy is not None else ExecutionPolicy()
-        self.call_cache = (
-            SourceCallCache() if self.policy.cache_source_calls else None
-        )
+        self.call_cache = context.call_cache
         self._scheduler: Optional[PlanScheduler] = None
         self._ident_index: Optional[Dict[str, DataNode]] = None
         self._ident_lock = threading.Lock()
@@ -638,6 +657,7 @@ def _eval_pair(
             lambda: _evaluate(right_plan, env, outer),
         ],
         tracer=env.tracer,
+        context=env.context,
     )
     env.stats.record_parallel(2)
     for value, error in outcomes:
@@ -813,6 +833,7 @@ def _eval_djoin(plan: DJoinOp, env: Environment, outer: Optional[Row]) -> Tab:
                 for key in order
             ],
             tracer=env.tracer,
+            context=env.context,
         )
         env.stats.record_parallel(len(order))
         for key, (tab, error) in zip(order, outcomes):
@@ -854,6 +875,7 @@ def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
                 lambda: _evaluate(plan.right, env, outer),
             ],
             tracer=env.tracer,
+            context=env.context,
         )
         env.stats.record_parallel(2)
 

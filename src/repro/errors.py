@@ -184,3 +184,28 @@ class QueryDeadlineError(MediatorError):
 class PartialResultError(MediatorError):
     """Degradation was allowed but no source branch survived, so there is
     no partial answer to return."""
+
+
+class AdmissionError(MediatorError):
+    """The serving layer refused a request before executing it.
+
+    Raised on the submitting caller's thread in well under the
+    millisecond range — rejection must stay cheap precisely when the
+    server is busiest.  ``retry_after`` is the server's estimate (in
+    seconds) of when resubmitting is worth trying; clients that honor it
+    spread their retries instead of hammering an overloaded mediator.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class OverloadedError(AdmissionError):
+    """The admission queue is full (or past the shedding threshold for
+    this request's priority); the request was shed, not queued."""
+
+
+class QuotaExceededError(AdmissionError):
+    """The submitting tenant's token-bucket quota is exhausted;
+    ``retry_after`` is the exact time until the bucket refills."""

@@ -26,7 +26,7 @@ from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Tab
 from repro.mediator.resilience import ResiliencePolicy, SourceOutcome
 from repro.model.trees import DataNode
-from repro.observability.context import activate_compile_kernels, activate_tracer
+from repro.observability.context import RequestContext, activate_context
 
 
 class ExecutionReport:
@@ -98,6 +98,7 @@ def run_plan(
     policy: Optional[ResiliencePolicy] = None,
     execution: Optional[ExecutionPolicy] = None,
     tracer=None,
+    context: Optional[RequestContext] = None,
 ) -> ExecutionReport:
     """Evaluate *plan* with fresh statistics and timing.
 
@@ -117,26 +118,42 @@ def run_plan(
     wrapper-side native run; the tracer is attached to the report as
     ``report.trace``.  ``None`` — the default — keeps the untraced fast
     path and changes nothing.
+
+    *context* (a :class:`~repro.observability.context.RequestContext`)
+    identifies the request this execution serves; the serving layer
+    passes one per admitted query.  Its tracer, kernel mode and call
+    cache are what cross the wrapper boundary, and its ``deadline``
+    (absolute, on the resilience policy's clock) is folded into the
+    per-query deadline machinery.  ``None`` gets a fresh anonymous
+    context, so two concurrent ``run_plan`` calls can never observe each
+    other's state.
     """
     if policy is None:
         policy = ResiliencePolicy.direct()
+    if context is not None and tracer is None:
+        tracer = context.tracer
+    deadline = context.deadline if context is not None else None
+    if deadline is not None and policy.is_direct:
+        # The direct policy has no runtime to enforce a deadline; a
+        # request that carries one gets the minimal non-direct policy
+        # (no retries, no partial results — still fail-fast).
+        policy = ResiliencePolicy()
     stats = ExecutionStats()
-    runtime = policy.start(stats, tracer=tracer)
+    runtime = policy.start(stats, tracer=tracer, deadline=deadline)
     sources = runtime.wrap(adapters) if runtime is not None else adapters
     env = Environment(sources, functions=functions, stats=stats,
-                      resilience=runtime, policy=execution, tracer=tracer)
+                      resilience=runtime, policy=execution, tracer=tracer,
+                      context=context)
     started = time.perf_counter()
     try:
-        # The compile_kernels flag crosses the wrapper boundary the same
-        # way the tracer does: thread-locally, so the adapter protocol
-        # keeps its signature and serial() stays interpretive end to end.
-        with activate_compile_kernels(env.policy.compile_kernels):
+        # The finalized request context crosses the wrapper boundary
+        # thread-locally (the adapter protocol keeps its signature);
+        # the scheduler re-activates it on pool threads.
+        with activate_context(env.context):
             if tracer is None:
                 tab = evaluate(plan, env)
             else:
-                with activate_tracer(tracer), tracer.start(
-                    "execute", kind="execution"
-                ) as root:
+                with tracer.start("execute", kind="execution") as root:
                     tab = evaluate(plan, env)
                     root.annotate(rows=len(tab))
     finally:

@@ -19,6 +19,7 @@ predicate could not be pushed — naive plans still give correct answers).
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import UnknownDocumentError
@@ -73,7 +74,7 @@ def _field_contains(field: str):
 class QueryResult:
     """Everything :meth:`Mediator.query` learned about one query."""
 
-    __slots__ = ("naive_plan", "plan", "trace", "report", "cached")
+    __slots__ = ("naive_plan", "plan", "trace", "report", "cached", "admission")
 
     def __init__(
         self,
@@ -90,6 +91,11 @@ class QueryResult:
         #: True when the plan came from the plan cache (possibly after
         #: constant rebinding) instead of a fresh planning pass.
         self.cached = cached
+        #: :class:`~repro.server.AdmissionOutcome` when this result came
+        #: through a :class:`~repro.server.MediatorServer` (queueing time,
+        #: forced degradation, deadline); ``None`` for direct calls —
+        #: the serving-layer analogue of ``outcomes``.
+        self.admission = None
 
     @property
     def tab(self) -> Tab:
@@ -145,6 +151,10 @@ class Mediator:
         #: statistics a gated optimization would use.
         self._stats_version = 0
         self._observed = ObservedStatistics()
+        #: Guards the planning-side mutable state (epoch, stats version,
+        #: probe cache, observed statistics) against concurrent sessions;
+        #: the PlanCache carries its own lock.
+        self._plan_lock = threading.RLock()
         #: Memo of wrapper selectivity probes, keyed (source, constant);
         #: cleared with the epoch — probing is a real source round trip
         #: and must not run once per query for the same constant.
@@ -213,8 +223,9 @@ class Mediator:
 
     def _invalidate_plans(self) -> None:
         """Catalog changed: cached plans and probe answers are suspect."""
-        self._epoch += 1
-        self._probe_cache.clear()
+        with self._plan_lock:
+            self._epoch += 1
+            self._probe_cache.clear()
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
         # Document trees may be re-exported after a catalog change; the
@@ -315,7 +326,7 @@ class Mediator:
             # Same shape, different constants: splice the new values into
             # the cached plans instead of replanning.  The trace still
             # describes the rewrites (they are constant-independent).
-            cache.rebinds += 1
+            cache.record_rebind()
             naive = rebind_plan(entry.naive, normalized.values)
             optimized = rebind_plan(entry.plan, normalized.values)
             return naive, optimized, entry.trace, True
@@ -385,11 +396,16 @@ class Mediator:
                 continue
             for constant in constants:
                 memo_key = (source_name, constant)
-                if memo_key in self._probe_cache:
-                    estimate = self._probe_cache[memo_key]
-                else:
+                with self._plan_lock:
+                    hit = memo_key in self._probe_cache
+                    estimate = self._probe_cache.get(memo_key)
+                if not hit:
+                    # The probe (a source round trip) runs outside the
+                    # lock; concurrent misses on one key both probe, and
+                    # either deterministic answer is correct to keep.
                     estimate = adapter.estimate_text_selectivity(constant)
-                    self._probe_cache[memo_key] = estimate
+                    with self._plan_lock:
+                        self._probe_cache[memo_key] = estimate
                 if estimate is not None:
                     # Pessimistic across sources: keep the largest fraction.
                     estimates[constant] = max(
@@ -407,13 +423,21 @@ class Mediator:
         policy: Optional[ResiliencePolicy] = None,
         execution: Optional[ExecutionPolicy] = None,
         tracer=None,
+        context=None,
     ) -> QueryResult:
-        """Parse, plan, optimize and evaluate a YAT_L query."""
+        """Parse, plan, optimize and evaluate a YAT_L query.
+
+        *context* (a :class:`~repro.observability.context.RequestContext`)
+        carries the requesting session's identity, deadline, tracer and
+        per-request caches through the execution; the serving layer
+        passes one per admitted request.
+        """
         naive, optimized, trace, cached = self._plan_text(
             text, optimize, rounds
         )
         report = self.execute(
-            optimized, policy=policy, execution=execution, tracer=tracer
+            optimized, policy=policy, execution=execution, tracer=tracer,
+            context=context,
         )
         return QueryResult(naive, optimized, trace, report, cached=cached)
 
@@ -490,11 +514,13 @@ class Mediator:
         actuals = collect_actuals(tracer)
         if not actuals:
             return
-        changed = self._observed.absorb(plan, actuals)
+        with self._plan_lock:
+            changed = self._observed.absorb(plan, actuals)
+            if changed and self.gate_information_passing:
+                # Plans chosen under the old statistics must replan; the
+                # version bump makes their cache keys unreachable.
+                self._stats_version += 1
         if changed and self.gate_information_passing:
-            # Plans chosen under the old statistics must replan; the
-            # version bump makes their cache keys unreachable.
-            self._stats_version += 1
             if self.plan_cache is not None:
                 self.plan_cache.invalidate()
 
@@ -504,6 +530,7 @@ class Mediator:
         policy: Optional[ResiliencePolicy] = None,
         execution: Optional[ExecutionPolicy] = None,
         tracer=None,
+        context=None,
     ) -> ExecutionReport:
         """Evaluate an already-planned query with fresh statistics.
 
@@ -521,4 +548,5 @@ class Mediator:
             policy=policy if policy is not None else self.policy,
             execution=execution if execution is not None else self.execution,
             tracer=tracer,
+            context=context,
         )

@@ -233,6 +233,12 @@ class PlanCache:
             self.hits += 1
             return entry
 
+    def record_rebind(self) -> None:
+        """Count one constant-rebinding hit (mutation stays under the
+        cache lock, so concurrent sessions never lose increments)."""
+        with self._lock:
+            self.rebinds += 1
+
     def store(self, key: tuple, entry: CachedPlan) -> None:
         with self._lock:
             self._entries[key] = entry

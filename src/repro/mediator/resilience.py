@@ -240,11 +240,19 @@ class ResiliencePolicy:
     def is_direct(self) -> bool:
         return self._direct
 
-    def start(self, stats: ExecutionStats, tracer=None) -> Optional["PolicyRuntime"]:
-        """Per-query runtime state, or ``None`` for the direct policy."""
+    def start(
+        self, stats: ExecutionStats, tracer=None, deadline=None
+    ) -> Optional["PolicyRuntime"]:
+        """Per-query runtime state, or ``None`` for the direct policy.
+
+        *deadline* is an optional **absolute** time (on this policy's
+        clock) imposed from outside — the serving layer's per-request
+        deadline.  The runtime enforces whichever of the external
+        deadline and the policy's own ``query_deadline`` comes first.
+        """
         if self._direct:
             return None
-        return PolicyRuntime(self, stats, tracer=tracer)
+        return PolicyRuntime(self, stats, tracer=tracer, deadline=deadline)
 
 
 class PolicyRuntime:
@@ -257,7 +265,11 @@ class PolicyRuntime:
     """
 
     def __init__(
-        self, policy: ResiliencePolicy, stats: ExecutionStats, tracer=None
+        self,
+        policy: ResiliencePolicy,
+        stats: ExecutionStats,
+        tracer=None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.policy = policy
         self.stats = stats
@@ -270,11 +282,19 @@ class PolicyRuntime:
         self._calls: Dict[str, int] = {}
         self._errors: Dict[str, str] = {}
         self._started = policy.clock()
-        self._deadline = (
+        own = (
             self._started + policy.query_deadline
             if policy.query_deadline is not None
             else None
         )
+        # The earlier of the policy's relative budget and the absolute
+        # deadline a serving layer imposed on this request.
+        if own is None:
+            self._deadline = deadline
+        elif deadline is None:
+            self._deadline = own
+        else:
+            self._deadline = min(own, deadline)
 
     # -- wiring ---------------------------------------------------------------
 
@@ -304,8 +324,9 @@ class PolicyRuntime:
 
     def check_deadline(self) -> None:
         if self._deadline is not None and self.policy.clock() > self._deadline:
+            budget = self._deadline - self._started
             raise QueryDeadlineError(
-                f"query exceeded its {self.policy.query_deadline:.3f}s deadline"
+                f"query exceeded its {budget:.3f}s deadline"
             )
 
     # -- the guarded call -------------------------------------------------------

@@ -383,7 +383,7 @@ class IndexRegistry:
     """
 
     __slots__ = ("_lock", "_entries", "_capacity", "builds", "hits",
-                 "build_seconds", "epoch")
+                 "build_seconds", "epoch", "evictions")
 
     def __init__(self, capacity: int = 64) -> None:
         self._lock = threading.Lock()
@@ -393,6 +393,7 @@ class IndexRegistry:
         self.hits = 0
         self.build_seconds = 0.0
         self.epoch = 0
+        self.evictions = 0
 
     def get(self, root: DataNode) -> Tuple[Optional[DocumentIndex], bool]:
         """Return ``(index or None, built_now)`` for *root*.
@@ -416,6 +417,7 @@ class IndexRegistry:
                 index = None
         with self._lock:
             if len(self._entries) >= self._capacity:
+                self.evictions += len(self._entries)
                 self._entries.clear()
             self._entries[key] = (root, index)
             if index is not None:
@@ -441,6 +443,8 @@ class IndexRegistry:
                 "hits": self.hits,
                 "build_seconds": self.build_seconds,
                 "epoch": self.epoch,
+                "evictions": self.evictions,
+                "capacity": self._capacity,
             }
 
     def reset(self) -> None:
@@ -450,6 +454,7 @@ class IndexRegistry:
             self.hits = 0
             self.build_seconds = 0.0
             self.epoch = 0
+            self.evictions = 0
 
 
 _DOCUMENT_INDEXES = IndexRegistry()

@@ -27,9 +27,12 @@ byte-identical answers.
 """
 
 from repro.observability.context import (
+    RequestContext,
     activate_compile_kernels,
+    activate_context,
     activate_tracer,
     current_compile_kernels,
+    current_context,
     current_tracer,
 )
 from repro.observability.explain import Explanation, NodeActuals, collect_actuals, render_plan
@@ -39,6 +42,7 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     record_execution,
+    record_memo_stats,
 )
 from repro.observability.tracer import Span, Tracer
 
@@ -49,13 +53,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NodeActuals",
+    "RequestContext",
     "Span",
     "Tracer",
     "activate_compile_kernels",
+    "activate_context",
     "activate_tracer",
     "collect_actuals",
     "current_compile_kernels",
+    "current_context",
     "current_tracer",
     "record_execution",
+    "record_memo_stats",
     "render_plan",
 ]

@@ -1,25 +1,31 @@
-"""Thread-local execution-context propagation (tracer, kernel policy).
+"""Per-request execution context and its cross-boundary propagation.
 
-Layers that receive an :class:`~repro.core.algebra.evaluator.Environment`
-read its ``tracer`` attribute directly, but the wrapper boundary does not
-see the environment: the evaluator calls ``adapter.execute_pushed(...)``
-and the wrapper has no way to reach the tracer of the execution it is
-serving.  This module carries the active tracer in a thread-local slot —
-the same pattern OpenTelemetry uses for context propagation — so
-:mod:`repro.wrappers.base` can add wrapper-side spans without any
-signature change across the adapter protocol.
+Earlier revisions carried two independent thread-local slots — the
+active tracer and the ``compile_kernels`` flag — across the wrapper
+boundary, and kept the per-execution source-call cache as an attribute
+of the evaluator's environment.  Three pieces of per-execution state in
+three places is exactly the shape that breaks under concurrent serving:
+a pool thread that evaluates branches for two different queries must
+switch *all* of it atomically, or query A's wrapper calls run with query
+B's tracer, kernel mode, or call cache.
 
-``run_plan`` activates the tracer for the duration of one evaluation;
-:meth:`~repro.observability.tracer.Tracer.bind` re-activates it inside
-scheduler pool threads.  When no tracer is active, :func:`current_tracer`
-is a single thread-local attribute read returning ``None`` — the
-disabled fast path.
+This module replaces those slots with one explicit
+:class:`RequestContext` — the identity and execution state of a single
+request — threaded through ``run_plan``, the evaluator environment, the
+scheduler, and (via one thread-local slot, the same pattern
+OpenTelemetry uses for context propagation) the wrapper boundary, whose
+adapter protocol has no signature to pass it.
 
-The same slot-per-thread pattern carries the execution policy's
-``compile_kernels`` flag across the wrapper boundary: wrappers consult
-:func:`current_compile_kernels` to decide between their compiled native
-path and the interpretive one, so ``ExecutionPolicy.serial()`` (the
-differential oracle) stays interpretive end to end.
+``run_plan`` activates the context for the duration of one evaluation;
+:meth:`RequestContext.bind` re-activates it inside scheduler pool
+threads, so a pool shared by many concurrent requests always observes
+the dispatching request's tracer, kernel mode and cache.  When no
+context is active, :func:`current_context` is a single thread-local
+attribute read returning ``None`` — the disabled fast path.
+
+:func:`current_tracer` / :func:`current_compile_kernels` (and their
+``activate_*`` shapes) remain as thin views over the active context, so
+wrapper-side call sites and tests keep their historical surface.
 """
 
 from __future__ import annotations
@@ -29,59 +35,184 @@ from contextlib import contextmanager
 from typing import Iterator, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.algebra.scheduling import SourceCallCache
     from repro.observability.tracer import Tracer
 
 _local = threading.local()
 
 
+class RequestContext:
+    """Everything one request carries through a federated execution.
+
+    The context is *per request*: the serving layer builds a fresh one
+    for every admitted query, and ``run_plan`` builds an anonymous one
+    when the caller passes none.  Fields fall in two groups:
+
+    * identity — ``request_id``, ``tenant``, ``priority``: who this
+      execution serves, used by serving metrics and admission records;
+    * execution state — ``tracer``, ``compile_kernels``, ``call_cache``,
+      ``deadline``: the state that used to live in per-thread globals
+      and per-environment attributes.  ``deadline`` is *absolute* (on
+      the resilience policy's clock, ``time.monotonic`` by default) and
+      is folded into the
+      :class:`~repro.mediator.resilience.PolicyRuntime` deadline
+      machinery by ``run_plan``.
+
+    A context is owned by exactly one in-flight execution at a time;
+    reusing one across sequential executions is supported (the call
+    cache then spans them — only sound while the sources do not change),
+    sharing one between concurrent executions is not.
+    """
+
+    __slots__ = (
+        "request_id", "tenant", "priority", "deadline",
+        "tracer", "compile_kernels", "call_cache",
+    )
+
+    def __init__(
+        self,
+        request_id: Optional[str] = None,
+        tenant: str = "default",
+        priority: str = "normal",
+        deadline: Optional[float] = None,
+        tracer: Optional["Tracer"] = None,
+        compile_kernels: bool = True,
+        call_cache: Optional["SourceCallCache"] = None,
+    ) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.priority = priority
+        self.deadline = deadline
+        self.tracer = tracer
+        self.compile_kernels = compile_kernels
+        self.call_cache = call_cache
+
+    def replace(self, **overrides) -> "RequestContext":
+        """A copy of this context with *overrides* applied."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(overrides)
+        return RequestContext(**fields)
+
+    def bind(self, thunk):
+        """Wrap *thunk* so it runs with this context active.
+
+        The scheduler binds every submitted thunk: whichever thread
+        executes it — a pool thread, or the dispatching thread itself on
+        the reclaim path — sees this request's tracer, kernel mode and
+        call cache for the duration, and has its previous context
+        restored afterwards.
+        """
+
+        def bound():
+            previous = set_context(self)
+            try:
+                return thunk()
+            finally:
+                set_context(previous)
+
+        return bound
+
+    def __repr__(self) -> str:
+        ident = self.request_id or "anonymous"
+        return (
+            f"RequestContext({ident}, tenant={self.tenant!r}, "
+            f"priority={self.priority!r}, compile_kernels={self.compile_kernels})"
+        )
+
+
+def current_context() -> Optional[RequestContext]:
+    """The request context active on this thread, or ``None``."""
+    return getattr(_local, "context", None)
+
+
+def set_context(context: Optional[RequestContext]) -> Optional[RequestContext]:
+    """Install *context* on this thread; returns the previous value."""
+    previous = getattr(_local, "context", None)
+    _local.context = context
+    return previous
+
+
+@contextmanager
+def activate_context(
+    context: Optional[RequestContext],
+) -> Iterator[Optional[RequestContext]]:
+    """Make *context* the thread's active context for the ``with`` body.
+
+    ``activate_context(None)`` is a supported no-op shape, so callers
+    can wrap unconditionally instead of branching.
+    """
+    previous = set_context(context)
+    try:
+        yield context
+    finally:
+        set_context(previous)
+
+
+# ---------------------------------------------------------------------------
+# Compatibility views: the historical tracer / kernel-flag surface
+# ---------------------------------------------------------------------------
+
 def current_tracer() -> Optional["Tracer"]:
-    """The tracer active on this thread, or ``None`` (tracing disabled)."""
-    return getattr(_local, "tracer", None)
+    """The tracer of this thread's active context, or ``None``."""
+    context = getattr(_local, "context", None)
+    return context.tracer if context is not None else None
 
 
 def set_tracer(tracer: Optional["Tracer"]) -> Optional["Tracer"]:
-    """Install *tracer* on this thread; returns the previous value."""
-    previous = getattr(_local, "tracer", None)
-    _local.tracer = tracer
+    """Make *tracer* this thread's active tracer; returns the previous.
+
+    Contexts may be shared across pool threads, so the active context is
+    never mutated: a *derived* context (same request identity, different
+    tracer) is installed instead.
+    """
+    context = getattr(_local, "context", None)
+    previous = context.tracer if context is not None else None
+    if context is None:
+        if tracer is not None:
+            _local.context = RequestContext(tracer=tracer)
+    elif context.tracer is not tracer:
+        _local.context = context.replace(tracer=tracer)
     return previous
 
 
 @contextmanager
 def activate_tracer(tracer: Optional["Tracer"]) -> Iterator[Optional["Tracer"]]:
-    """Make *tracer* the thread's active tracer for the ``with`` body.
-
-    ``activate_tracer(None)`` is a supported no-op shape, so callers can
-    wrap unconditionally instead of branching on whether tracing is on.
-    """
-    previous = set_tracer(tracer)
+    """Make *tracer* the thread's active tracer for the ``with`` body."""
+    context = getattr(_local, "context", None)
+    derived = (
+        RequestContext(tracer=tracer)
+        if context is None
+        else context.replace(tracer=tracer)
+    )
+    previous = set_context(derived)
     try:
         yield tracer
     finally:
-        set_tracer(previous)
+        set_context(previous)
 
 
 def current_compile_kernels() -> bool:
-    """Whether source-side kernel compilation is on for this thread.
+    """Whether source-side kernel compilation is on for this request.
 
     Defaults to ``True`` — the same default as
     :class:`~repro.core.algebra.scheduling.ExecutionPolicy` — so direct
     wrapper use outside ``run_plan`` takes the compiled path.
     """
-    return getattr(_local, "compile_kernels", True)
-
-
-def set_compile_kernels(flag: bool) -> bool:
-    """Install *flag* on this thread; returns the previous value."""
-    previous = getattr(_local, "compile_kernels", True)
-    _local.compile_kernels = flag
-    return previous
+    context = getattr(_local, "context", None)
+    return context.compile_kernels if context is not None else True
 
 
 @contextmanager
 def activate_compile_kernels(flag: bool) -> Iterator[bool]:
     """Make *flag* the thread's kernel-compilation mode for the body."""
-    previous = set_compile_kernels(flag)
+    context = getattr(_local, "context", None)
+    derived = (
+        RequestContext(compile_kernels=flag)
+        if context is None
+        else context.replace(compile_kernels=flag)
+    )
+    previous = set_context(derived)
     try:
         yield flag
     finally:
-        set_compile_kernels(previous)
+        set_context(previous)

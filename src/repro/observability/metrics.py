@@ -34,6 +34,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "record_execution",
+    "record_memo_stats",
     "record_plan_cache",
 ]
 
@@ -524,3 +525,52 @@ def record_plan_cache(registry: MetricsRegistry, mediator) -> None:
         "yat_document_index_build_seconds",
         "Cumulative wall time spent building document indexes.",
     ).set(indexes["build_seconds"])
+
+
+def record_memo_stats(registry: MetricsRegistry, mediator) -> None:
+    """Export every bounded per-process memo as ``yat_memo_*`` gauges.
+
+    Covers the process-wide kernel cache and document-index registry plus
+    each connected wrapper's memos (checked fragments, exported
+    documents, prepared OQL fragments and their compiled/result memos).
+    One family, labelled by memo, so dashboards catch any memo whose
+    eviction counter climbs — the signature of a workload churning
+    through more distinct queries than the bound can hold.
+    """
+    from repro.core.algebra.compiled import kernel_cache_stats
+    from repro.model.indexes import index_registry_stats
+
+    entries = registry.gauge(
+        "yat_memo_entries", "Entries currently held per bounded memo.",
+        ("memo",),
+    )
+    capacity = registry.gauge(
+        "yat_memo_capacity", "Configured capacity per bounded memo.",
+        ("memo",),
+    )
+    evictions = registry.gauge(
+        "yat_memo_evictions_total",
+        "Entries evicted per bounded memo since process start.",
+        ("memo",),
+    )
+
+    def export(memo: str, stats: Dict[str, object]) -> None:
+        entries.labels(memo=memo).set(stats.get("entries", 0))
+        capacity.labels(memo=memo).set(stats.get("capacity", 0))
+        evictions.labels(memo=memo).set(stats.get("evictions", 0))
+
+    kernels = kernel_cache_stats()
+    export("kernels", {
+        "entries": kernels["filter_kernels"] + kernels["predicate_kernels"],
+        "capacity": kernels["capacity"],
+        "evictions": kernels["evictions"],
+    })
+    export("document_indexes", index_registry_stats())
+    catalog = getattr(mediator, "catalog", None)
+    adapters = catalog.adapters() if catalog is not None else {}
+    for source, adapter in sorted(adapters.items()):
+        memo_stats = getattr(adapter, "memo_stats", None)
+        if memo_stats is None:
+            continue
+        for memo, stats in sorted(memo_stats().items()):
+            export(f"{source}.{memo}", stats)

@@ -1,0 +1,510 @@
+"""The concurrent serving front-end over one :class:`Mediator`.
+
+A :class:`MediatorServer` is a thread-pool front-end (the same bounded
+worker model as :class:`~repro.core.algebra.scheduling.PlanScheduler`)
+that accepts many simultaneous YATL sessions against one mediator — all
+of them sharing its plan cache, compiled kernels and document indexes,
+none of them sharing per-request state, which travels in an explicit
+:class:`~repro.observability.context.RequestContext` per admitted query.
+
+Overload robustness is the design center:
+
+* **bounded admission queue** — at ``queue_limit`` pending requests,
+  submission fails immediately with
+  :class:`~repro.errors.OverloadedError` instead of queuing without
+  bound;
+* **tiered shedding** — before outright rejection, low-priority requests
+  are first flipped into the existing graceful-degradation mode
+  (``allow_partial_results``), then shed, while high/normal traffic
+  still queues;
+* **per-tenant quotas** — token buckets reject over-quota tenants with
+  :class:`~repro.errors.QuotaExceededError` before they touch the queue;
+* **deadlines** — a per-request time budget becomes an absolute deadline
+  carried by the request context and enforced by the existing
+  :class:`~repro.mediator.resilience.PolicyRuntime` machinery (and
+  checked again when a worker picks the request up: a request that
+  expired while queued fails without executing);
+* **graceful drain** — :meth:`MediatorServer.drain` stops admission and
+  lets in-flight work finish, so shutdown loses nothing it accepted.
+
+Every rejection happens on the submitting caller's thread in constant
+time and carries a ``retry_after`` hint, so clients back off instead of
+hammering a server that is already busy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import (
+    OverloadedError,
+    QueryDeadlineError,
+    QuotaExceededError,
+)
+from repro.core.algebra.scheduling import ExecutionPolicy
+from repro.mediator.resilience import ResiliencePolicy
+from repro.observability.context import RequestContext
+from repro.server.admission import (
+    PRIORITIES,
+    AdmissionOutcome,
+    ServiceEstimator,
+    TokenBucket,
+)
+
+
+class ServerConfig:
+    """Immutable configuration of a :class:`MediatorServer`.
+
+    ``degrade_depth`` and ``shed_depth`` default to half and
+    three-quarters of ``queue_limit``: degradation starts when the queue
+    is half full, low-priority shedding at three quarters, and the hard
+    limit rejects everyone.  ``quotas`` maps tenant names to
+    ``(rate, burst)`` token-bucket parameters; ``default_quota`` (same
+    shape) applies to tenants not listed, and ``None`` — the default —
+    means unmetered.
+    """
+
+    __slots__ = ("workers", "queue_limit", "degrade_depth", "shed_depth",
+                 "default_deadline", "quotas", "default_quota", "policy",
+                 "execution", "metrics", "clock")
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_limit: int = 64,
+        degrade_depth: Optional[int] = None,
+        shed_depth: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        quotas: Optional[Dict[str, Tuple[float, float]]] = None,
+        default_quota: Optional[Tuple[float, float]] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        execution: Optional[ExecutionPolicy] = None,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a server needs at least one worker")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.degrade_depth = (
+            degrade_depth if degrade_depth is not None else queue_limit // 2
+        )
+        self.shed_depth = (
+            shed_depth if shed_depth is not None else (queue_limit * 3) // 4
+        )
+        #: Default per-request time budget (seconds); ``None`` = none.
+        self.default_deadline = default_deadline
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        #: Resilience policy for admitted queries (``None`` defers to the
+        #: mediator's own default).
+        self.policy = policy
+        #: Execution policy for admitted queries (``None`` defers).
+        self.execution = execution
+        #: Optional :class:`~repro.observability.metrics.MetricsRegistry`
+        #: receiving live ``yat_server_*`` series.
+        self.metrics = metrics
+        self.clock = clock
+
+
+def _degraded_variant(policy: Optional[ResiliencePolicy]) -> ResiliencePolicy:
+    """*policy* with graceful degradation forced on.
+
+    A direct (or absent) base policy degrades to the minimal non-direct
+    policy — no retries, no breaker tuning changes — because the direct
+    policy has no runtime to drop branches with.
+    """
+    if policy is None or policy.is_direct:
+        return ResiliencePolicy(allow_partial_results=True)
+    if policy.allow_partial_results:
+        return policy
+    return ResiliencePolicy(
+        retry=policy.retry,
+        circuit_failure_threshold=policy.circuit_failure_threshold,
+        circuit_recovery_time=policy.circuit_recovery_time,
+        call_timeout=policy.call_timeout,
+        query_deadline=policy.query_deadline,
+        allow_partial_results=True,
+        clock=policy.clock,
+        sleep=policy.sleep,
+    )
+
+
+class Ticket:
+    """Handle on one admitted request; :meth:`result` blocks for it."""
+
+    __slots__ = ("request_id", "text", "tenant", "priority", "deadline",
+                 "degrade", "tracer", "submitted_at", "started_at",
+                 "completed_at", "_event", "_result", "_error")
+
+    def __init__(
+        self,
+        request_id: str,
+        text: str,
+        tenant: str,
+        priority: str,
+        deadline: Optional[float],
+        degrade: bool,
+        tracer,
+        submitted_at: float,
+    ) -> None:
+        self.request_id = request_id
+        self.text = text
+        self.tenant = tenant
+        self.priority = priority
+        self.deadline = deadline
+        #: True when shedding flipped this request into degraded mode.
+        self.degrade = degrade
+        self.tracer = tracer
+        self.submitted_at = submitted_at
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._event = threading.Event()
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """The :class:`~repro.mediator.mediator.QueryResult`, blocking
+        until the request completes; re-raises the execution's error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} did not complete in {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _complete(self, result, error, now: float) -> None:
+        self.completed_at = now
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return (
+            f"Ticket({self.request_id}, {self.tenant!r}/{self.priority}, "
+            f"{state})"
+        )
+
+
+class MediatorServer:
+    """Concurrent YATL serving with admission control over one mediator."""
+
+    def __init__(self, mediator, config: Optional[ServerConfig] = None) -> None:
+        self.mediator = mediator
+        self.config = config if config is not None else ServerConfig()
+        self._clock = self.config.clock
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        #: One FIFO per priority; workers pop ``high`` before ``normal``
+        #: before ``low``.
+        self._queues: Dict[str, deque] = {p: deque() for p in PRIORITIES}
+        self._depth = 0
+        self._in_flight = 0
+        self._buckets: Dict[str, Optional[TokenBucket]] = {}
+        self._estimator = ServiceEstimator()
+        self._draining = False
+        self._stopping = False
+        self._next_id = 0
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "admitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "expired": 0,
+            "shed_overload": 0,
+            "shed_quota": 0,
+            "degraded_forced": 0,
+        }
+        self._degraded_policy = _degraded_variant(
+            self.config.policy
+            if self.config.policy is not None
+            else getattr(mediator, "policy", None)
+        )
+        self._init_metrics(self.config.metrics)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"yat-serve-{index}",
+                daemon=True,
+            )
+            for index in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- metrics ----------------------------------------------------------------
+
+    def _init_metrics(self, registry) -> None:
+        if registry is None:
+            self._m_requests = None
+            return
+        self._m_requests = registry.counter(
+            "yat_server_requests_total",
+            "Requests by tenant and final outcome.",
+            ("tenant", "outcome"),
+        )
+        self._m_depth = registry.gauge(
+            "yat_server_queue_depth", "Requests waiting for a worker."
+        )
+        self._m_latency = registry.histogram(
+            "yat_server_latency_seconds",
+            "Submit-to-completion latency of admitted requests.",
+            ("priority",),
+        )
+        self._m_queue_wait = registry.histogram(
+            "yat_server_queue_seconds",
+            "Time admitted requests spent waiting in the queue.",
+        )
+
+    def _record(self, tenant: str, outcome: str) -> None:
+        if self._m_requests is not None:
+            self._m_requests.labels(tenant=tenant, outcome=outcome).inc()
+
+    # -- admission ----------------------------------------------------------------
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        bucket = self._buckets.get(tenant)
+        if bucket is None and tenant not in self._buckets:
+            spec = self.config.quotas.get(tenant, self.config.default_quota)
+            bucket = TokenBucket(*spec) if spec is not None else None
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def submit(
+        self,
+        text: str,
+        tenant: str = "default",
+        priority: str = "normal",
+        deadline: Optional[float] = None,
+        tracer=None,
+    ) -> Ticket:
+        """Admit one YATL query; returns a :class:`Ticket` or raises.
+
+        *deadline* is a relative time budget in seconds (defaulting to
+        the server's ``default_deadline``); it bounds queueing *and*
+        execution.  Raises :class:`~repro.errors.QuotaExceededError` or
+        :class:`~repro.errors.OverloadedError` — both carrying
+        ``retry_after`` — when the request cannot be accepted; rejection
+        never blocks on running queries.
+        """
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; expected one of {PRIORITIES}"
+            )
+        now = self._clock()
+        config = self.config
+        with self._lock:
+            self.counters["submitted"] += 1
+            depth = self._depth
+            if self._draining or self._stopping:
+                self.counters["shed_overload"] += 1
+                self._record(tenant, "shed")
+                raise OverloadedError(
+                    "server is draining; not accepting new requests",
+                    retry_after=self._estimator.retry_after(
+                        depth + self._in_flight, config.workers
+                    ),
+                )
+            bucket = self._bucket(tenant)
+            if bucket is not None:
+                ok, wait = bucket.acquire(now)
+                if not ok:
+                    self.counters["shed_quota"] += 1
+                    self._record(tenant, "quota")
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} is over its rate quota",
+                        retry_after=wait,
+                    )
+            degrade = False
+            if depth >= config.queue_limit or (
+                depth >= config.shed_depth and priority == "low"
+            ):
+                self.counters["shed_overload"] += 1
+                self._record(tenant, "shed")
+                raise OverloadedError(
+                    f"admission queue is full ({depth} pending)",
+                    retry_after=self._estimator.retry_after(
+                        depth, config.workers
+                    ),
+                )
+            if depth >= config.degrade_depth and priority == "low":
+                degrade = True
+                self.counters["degraded_forced"] += 1
+            budget = deadline if deadline is not None else config.default_deadline
+            absolute = now + budget if budget is not None else None
+            self._next_id += 1
+            ticket = Ticket(
+                request_id=f"r{self._next_id}",
+                text=text,
+                tenant=tenant,
+                priority=priority,
+                deadline=absolute,
+                degrade=degrade,
+                tracer=tracer,
+                submitted_at=now,
+            )
+            self._queues[priority].append(ticket)
+            self._depth += 1
+            self.counters["admitted"] += 1
+            if self._m_requests is not None:
+                self._m_depth.set(self._depth)
+            self._work.notify()
+        return ticket
+
+    # -- the worker side ----------------------------------------------------------
+
+    def _pop(self) -> Optional[Ticket]:
+        for priority in PRIORITIES:
+            queue = self._queues[priority]
+            if queue:
+                self._depth -= 1
+                if self._m_requests is not None:
+                    self._m_depth.set(self._depth)
+                return queue.popleft()
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while self._depth == 0 and not self._stopping:
+                    self._work.wait()
+                if self._depth == 0 and self._stopping:
+                    return
+                ticket = self._pop()
+                self._in_flight += 1
+            try:
+                self._execute(ticket)
+            finally:
+                with self._work:
+                    self._in_flight -= 1
+                    self._work.notify_all()
+
+    def _execute(self, ticket: Ticket) -> None:
+        now = self._clock()
+        ticket.started_at = now
+        queued = now - ticket.submitted_at
+        if ticket.deadline is not None and now > ticket.deadline:
+            # Expired while queued: fail without executing, under the
+            # same typed error the in-flight deadline machinery raises.
+            budget = ticket.deadline - ticket.submitted_at
+            with self._lock:
+                self.counters["expired"] += 1
+            self._record(ticket.tenant, "expired")
+            ticket._complete(
+                None,
+                QueryDeadlineError(
+                    f"request {ticket.request_id} spent {queued:.3f}s in the "
+                    f"admission queue, past its {budget:.3f}s deadline"
+                ),
+                self._clock(),
+            )
+            return
+        context = RequestContext(
+            request_id=ticket.request_id,
+            tenant=ticket.tenant,
+            priority=ticket.priority,
+            deadline=ticket.deadline,
+            tracer=ticket.tracer,
+        )
+        policy = self.config.policy
+        if ticket.degrade:
+            policy = self._degraded_policy
+        result = None
+        error: Optional[BaseException] = None
+        try:
+            result = self.mediator.query(
+                ticket.text,
+                policy=policy,
+                execution=self.config.execution,
+                context=context,
+            )
+        except BaseException as exc:  # delivered through Ticket.result
+            error = exc
+        completed = self._clock()
+        if result is not None:
+            result.admission = AdmissionOutcome(
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                priority=ticket.priority,
+                queued_seconds=queued,
+                degraded_forced=ticket.degrade,
+                deadline=ticket.deadline,
+            )
+        self._estimator.observe(completed - ticket.started_at)
+        with self._lock:
+            self.counters["completed" if error is None else "failed"] += 1
+        self._record(ticket.tenant, "ok" if error is None else "error")
+        if self._m_requests is not None:
+            self._m_latency.labels(priority=ticket.priority).observe(
+                completed - ticket.submitted_at
+            )
+            self._m_queue_wait.observe(queued)
+        ticket._complete(result, error, completed)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of admission counters and current load."""
+        with self._lock:
+            snapshot: Dict[str, object] = dict(self.counters)
+            snapshot["queue_depth"] = self._depth
+            snapshot["in_flight"] = self._in_flight
+            snapshot["mean_service_seconds"] = self._estimator.mean
+            return snapshot
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting and wait for queued + in-flight work to finish.
+
+        Returns ``True`` when the server is idle, ``False`` on timeout
+        (work is still running; admission stays closed either way).
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._work:
+            self._draining = True
+            while self._depth > 0 or self._in_flight > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._work.wait(remaining)
+        return True
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain, then stop the worker threads."""
+        self.drain(timeout)
+        with self._work:
+            self._stopping = True
+            self._work.notify_all()
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "MediatorServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"MediatorServer(workers={self.config.workers}, "
+            f"depth={stats['queue_depth']}, in_flight={stats['in_flight']}, "
+            f"admitted={stats['admitted']}, shed={stats['shed_overload']})"
+        )

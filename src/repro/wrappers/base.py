@@ -19,6 +19,7 @@ source do something it never promised.
 
 from __future__ import annotations
 
+import threading
 from abc import abstractmethod
 from typing import Dict, List, Optional, Tuple
 
@@ -116,12 +117,22 @@ class Wrapper(SourceAdapter):
         self._interface: Optional[SourceInterface] = None
         self._document_name_set: Optional[frozenset] = None
         self._matcher: Optional[CapabilityMatcher] = None
+        #: Guards the per-wrapper memos below: one wrapper serves every
+        #: concurrent session, so memo mutation must be atomic.  The
+        #: expensive work (fragment analysis, document builds) runs
+        #: outside the lock.
+        self._memo_lock = threading.Lock()
         #: ``id(plan) -> (plan, fragment)``; the plan reference keeps the
         #: id stable for the lifetime of the entry (same idiom as the
         #: evaluator's per-plan memos).
         self._fragments: Dict[int, Tuple[Plan, PushedFragment]] = {}
         #: ``name -> (data version, tree)`` memo behind :meth:`document`.
         self._documents: Dict[str, Tuple[int, DataNode]] = {}
+        #: Entries dropped from the memos above (capacity or staleness),
+        #: exported through :meth:`memo_stats` into the ``yat_memo_*``
+        #: metrics.
+        self._fragment_evictions = 0
+        self._document_evictions = 0
 
     def document_name_set(self) -> frozenset:
         """Exported document names as a set, cached after the first call.
@@ -201,14 +212,17 @@ class Wrapper(SourceAdapter):
         dictionary lookup.  Rejections are not memoized; the error path
         is cold by construction.
         """
-        entry = self._fragments.get(id(plan))
-        if entry is not None:
-            return entry[1]
+        with self._memo_lock:
+            entry = self._fragments.get(id(plan))
+            if entry is not None and entry[0] is plan:
+                return entry[1]
         fragment = analyze_fragment(plan, self.name)
         self.validate_fragment(fragment)
-        if len(self._fragments) >= self.FRAGMENT_MEMO_CAPACITY:
-            self._fragments.pop(next(iter(self._fragments)))
-        self._fragments[id(plan)] = (plan, fragment)
+        with self._memo_lock:
+            if len(self._fragments) >= self.FRAGMENT_MEMO_CAPACITY:
+                self._fragments.pop(next(iter(self._fragments)))
+                self._fragment_evictions += 1
+            self._fragments[id(plan)] = (plan, fragment)
         return fragment
 
     # -- statistics ----------------------------------------------------------------
@@ -256,16 +270,48 @@ class Wrapper(SourceAdapter):
         memo serves one stable tree until :meth:`data_version` moves.
         """
         version = self.data_version()
-        entry = self._documents.get(name)
-        if entry is not None and entry[0] == version:
-            return entry[1]
+        with self._memo_lock:
+            entry = self._documents.get(name)
+            if entry is not None and entry[0] == version:
+                return entry[1]
         tree = self.build_document(name)
-        self._documents[name] = (version, tree)
+        with self._memo_lock:
+            # A concurrent builder may have stored the same version first;
+            # keep the incumbent so every session sees one stable tree
+            # (document indexes key on tree identity).
+            entry = self._documents.get(name)
+            if entry is not None and entry[0] == version:
+                return entry[1]
+            if entry is not None:
+                self._document_evictions += 1
+            self._documents[name] = (version, tree)
         return tree
 
     @abstractmethod
     def build_document(self, name: str) -> DataNode:
         """Construct the named document's tree (one full export)."""
+
+    # -- memo accounting ----------------------------------------------------------
+
+    def memo_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-memo occupancy and eviction counters for metrics export.
+
+        Keyed by memo name; each value holds ``entries`` / ``capacity`` /
+        ``evictions``.  Subclasses with additional memos extend the dict.
+        """
+        with self._memo_lock:
+            return {
+                "fragments": {
+                    "entries": len(self._fragments),
+                    "capacity": self.FRAGMENT_MEMO_CAPACITY,
+                    "evictions": self._fragment_evictions,
+                },
+                "documents": {
+                    "entries": len(self._documents),
+                    "capacity": len(self.document_name_set()),
+                    "evictions": self._document_evictions,
+                },
+            }
 
     # -- SourceAdapter defaults ---------------------------------------------------
 

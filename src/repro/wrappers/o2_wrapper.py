@@ -14,6 +14,7 @@ example), evaluated by the OQL engine, and returned as a Tab.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SourceError
@@ -74,6 +75,7 @@ class O2Wrapper(Wrapper):
         #: ``id(plan) -> (plan, prepared)``; the plan reference keeps the
         #: id stable for the lifetime of the entry.
         self._prepared: Dict[int, Tuple[Plan, "_PreparedFragment"]] = {}
+        self._prepared_evictions = 0
 
     # -- capability export ---------------------------------------------------
 
@@ -152,14 +154,40 @@ class O2Wrapper(Wrapper):
     def _prepared_fragment(
         self, fragment: PushedFragment, plan: Plan
     ) -> "_PreparedFragment":
-        entry = self._prepared.get(id(plan))
-        if entry is not None:
-            return entry[1]
+        with self._memo_lock:
+            entry = self._prepared.get(id(plan))
+            if entry is not None and entry[0] is plan:
+                return entry[1]
         prepared = _PreparedFragment(self._db, fragment, plan, self._to_cell)
-        if len(self._prepared) >= self.PREPARED_MEMO_CAPACITY:
-            self._prepared.pop(next(iter(self._prepared)))
-        self._prepared[id(plan)] = (plan, prepared)
+        with self._memo_lock:
+            if len(self._prepared) >= self.PREPARED_MEMO_CAPACITY:
+                self._prepared.pop(next(iter(self._prepared)))
+                self._prepared_evictions += 1
+            self._prepared[id(plan)] = (plan, prepared)
         return prepared
+
+    def memo_stats(self) -> Dict[str, Dict[str, int]]:
+        stats = super().memo_stats()
+        with self._memo_lock:
+            prepared = list(entry[1] for entry in self._prepared.values())
+            stats["prepared"] = {
+                "entries": len(prepared),
+                "capacity": self.PREPARED_MEMO_CAPACITY,
+                "evictions": self._prepared_evictions,
+            }
+        values_evictions = sum(p.values_evictions for p in prepared)
+        results_evictions = sum(p.results_evictions for p in prepared)
+        stats["oql_values"] = {
+            "entries": sum(p.values_entries for p in prepared),
+            "capacity": _PreparedFragment.VALUES_MEMO_CAPACITY,
+            "evictions": values_evictions,
+        }
+        stats["oql_results"] = {
+            "entries": sum(p.results_entries for p in prepared),
+            "capacity": _PreparedFragment.RESULTS_MEMO_CAPACITY,
+            "evictions": results_evictions,
+        }
+        return stats
 
     def _to_cell(self, value: object):
         if isinstance(value, OdmgObject):
@@ -416,7 +444,8 @@ class _PreparedFragment:
     RESULTS_MEMO_CAPACITY = 64
 
     __slots__ = ("_db", "_fragment", "columns", "_base", "_outer_names",
-                 "_compiled", "_convert", "_results")
+                 "_compiled", "_convert", "_results", "_memo_lock",
+                 "values_evictions", "results_evictions")
 
     def __init__(
         self,
@@ -441,13 +470,28 @@ class _PreparedFragment:
         self._compiled: Dict[tuple, Tuple[str, CompiledSelect]] = {}
         #: ``(database version, constants) -> Tab`` for pure selects.
         self._results: Dict[tuple, Tab] = {}
+        #: One prepared fragment serves every concurrent session hitting
+        #: its plan; the memos mutate under this lock (the compile and
+        #: the native evaluation run outside it).
+        self._memo_lock = threading.Lock()
+        self.values_evictions = 0
+        self.results_evictions = 0
+
+    @property
+    def values_entries(self) -> int:
+        return len(self._compiled)
+
+    @property
+    def results_entries(self) -> int:
+        return len(self._results)
 
     def run(self, outer: Optional[Row]) -> Tuple[Tab, str]:
         values: Optional[tuple] = tuple(
             outer_constant(outer, name) for name in self._outer_names
         )
         try:
-            entry = self._compiled.get(values)
+            with self._memo_lock:
+                entry = self._compiled.get(values)
         except TypeError:  # an unhashable outer constant (a tree cell)
             entry = None
             values = None
@@ -460,18 +504,23 @@ class _PreparedFragment:
             )
             entry = (query.text(), compile_select(query))
             if values is not None:
-                if len(self._compiled) >= self.VALUES_MEMO_CAPACITY:
-                    self._compiled.clear()
-                self._compiled[values] = entry
+                with self._memo_lock:
+                    if len(self._compiled) >= self.VALUES_MEMO_CAPACITY:
+                        self.values_evictions += len(self._compiled)
+                        self._compiled.clear()
+                    self._compiled[values] = entry
         native, compiled = entry
         if compiled.pure and values is not None:
             key = (self._db.version, values)
-            tab = self._results.get(key)
+            with self._memo_lock:
+                tab = self._results.get(key)
             if tab is None:
                 tab = self._build_tab(compiled)
-                if len(self._results) >= self.RESULTS_MEMO_CAPACITY:
-                    self._results.clear()
-                self._results[key] = tab
+                with self._memo_lock:
+                    if len(self._results) >= self.RESULTS_MEMO_CAPACITY:
+                        self.results_evictions += len(self._results)
+                        self._results.clear()
+                    self._results[key] = tab
             return tab, native
         return self._build_tab(compiled), native
 

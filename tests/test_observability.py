@@ -318,6 +318,24 @@ def test_record_execution_taxonomy(cultural_mediator):
     assert "yat_degraded_queries_total" not in text
 
 
+def test_record_memo_stats_covers_every_bounded_memo(cultural_mediator):
+    from repro.observability import record_memo_stats
+
+    cultural_mediator.query(Q1)
+    cultural_mediator.query(Q2)
+    registry = MetricsRegistry()
+    record_memo_stats(registry, cultural_mediator)
+    text = registry.exposition()
+    for memo in ("kernels", "document_indexes", "o2artifact.fragments",
+                 "o2artifact.prepared", "o2artifact.oql_results",
+                 "xmlartwork.fragments", "xmlartwork.documents"):
+        assert f'yat_memo_entries{{memo="{memo}"}}' in text
+        assert f'yat_memo_capacity{{memo="{memo}"}}' in text
+        assert f'yat_memo_evictions_total{{memo="{memo}"}}' in text
+    # The compiled-kernel memo actually held something for Q1/Q2.
+    assert 'yat_memo_entries{memo="kernels"} 0' not in text
+
+
 # ---------------------------------------------------------------------------
 # EXPLAIN CLI
 # ---------------------------------------------------------------------------
