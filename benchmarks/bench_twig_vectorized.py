@@ -1,0 +1,160 @@
+"""V1 — holistic twig join + columnar batches vs the seed recursive path.
+
+Two comparisons, both over the Figure 4 works workload:
+
+* **match-time** (:func:`speedup_rows`): the compiled twig join over a
+  :class:`~repro.model.indexes.DocumentIndex` versus the interpretive
+  ``match_filter`` on the same tree.  The index is built outside the
+  timed region because the Bind path memoizes one index per document —
+  its cost is paid once per document, not once per match.  Bindings are
+  verified identical (values *and* order) before anything is timed.
+* **end-to-end** (:func:`q1_rows`): the full mediator answering Q1
+  under ``ExecutionPolicy.serial()`` (the seed row-at-a-time semantics)
+  versus the default policy (columnar batches + twig joins + indexes),
+  answers byte-compared.  Q1 runs unoptimized — the optimized plan
+  prunes the O2 branch down to sub-millisecond noise — so this times
+  the full view materialization.  Source transfer, Tree reconstruction
+  and the artifacts Bind (reference trees, so the twig path falls back
+  to recursive matching there) dilute the ratio well below the
+  match-time one.
+
+The acceptance test at the bottom enforces the ISSUE 7 bar: >= 5x on
+the Figure 4 series at n=400.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro import ExecutionPolicy, Mediator, O2Wrapper, WaisWrapper
+from repro.core.algebra.bind import match_filter
+from repro.core.algebra.twig import compile_twig
+from repro.datasets import CulturalDataset, Q1, VIEW1_YAT
+from repro.model.filters import FRest, FStar, FVar, felem
+from repro.model.indexes import DocumentIndex
+from repro.model.xml_io import tree_to_xml
+
+
+def figure4_filter():
+    return felem(
+        "works",
+        FStar(
+            felem(
+                "work",
+                felem("artist", FVar("a")),
+                felem("title", FVar("t")),
+                felem("style", FVar("s")),
+                felem("size", FVar("si")),
+                FRest("fields"),
+            )
+        ),
+    )
+
+
+def median_seconds(run, repeats=15):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _oracle_tuples(tree, flt):
+    variables = flt.variables()
+    return [
+        tuple(binding[var] for var in variables)
+        for binding in match_filter(tree, flt)
+    ]
+
+
+def speedup_rows(sizes=(25, 100, 400), repeats=15):
+    """``(n, recursive_s, twig_s, speedup)`` per size, answers verified."""
+    flt = figure4_filter()
+    twig = compile_twig(flt)
+    assert twig is not None, "Figure 4 filter left the twig fragment"
+    rows = []
+    for n in sizes:
+        _database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+        tree = store.collection_tree()
+        index = DocumentIndex(tree)
+        assert index.supports_seek
+        assert twig.match(tree, index) == _oracle_tuples(tree, flt)
+
+        recursive_s = median_seconds(lambda: match_filter(tree, flt), repeats)
+        twig_s = median_seconds(lambda: twig.match(tree, index), repeats)
+        rows.append((n, recursive_s, twig_s, recursive_s / twig_s))
+    return rows
+
+
+def _make_mediator(database, store, execution):
+    mediator = Mediator(execution=execution)
+    mediator.connect(O2Wrapper("o2artifact", database))
+    mediator.connect(WaisWrapper("xmlartwork", store))
+    mediator.declare_containment("artworks", "artifacts")
+    mediator.load_program(VIEW1_YAT)
+    return mediator
+
+
+def q1_rows(sizes=(400,), repeats=5):
+    """``(n, serial_s, default_s, speedup)`` for unoptimized Q1.
+
+    Serial is the seed semantics; default is batches + twig joins.  The
+    two answers must serialize to identical bytes before timing starts.
+    """
+    rows = []
+    for n in sizes:
+        database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+        serial = _make_mediator(database, store, ExecutionPolicy.serial())
+        default = _make_mediator(database, store, ExecutionPolicy())
+        assert tree_to_xml(
+            serial.query(Q1, optimize=False).document()
+        ) == tree_to_xml(default.query(Q1, optimize=False).document())
+        serial_s = median_seconds(
+            lambda: serial.query(Q1, optimize=False), repeats
+        )
+        default_s = median_seconds(
+            lambda: default.query(Q1, optimize=False), repeats
+        )
+        rows.append((n, serial_s, default_s, serial_s / default_s))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark series
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [25, 100, 400])
+def test_bind_works_twig(benchmark, n):
+    """The Figure 4 match through the holistic twig join."""
+    _database, store = CulturalDataset(n_artifacts=n, seed=1).build()
+    tree = store.collection_tree()
+    twig = compile_twig(figure4_filter())
+    index = DocumentIndex(tree)
+    rows = benchmark(twig.match, tree, index)
+    assert len(rows) == n
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def test_twig_beats_recursive_5x():
+    """Acceptance check (ISSUE 7): at n=400 the twig join must beat the
+    interpretive recursive matcher by at least 5x on the Figure 4
+    series — one indexed pass instead of per-node recursive descent."""
+    rows = speedup_rows(sizes=(400,), repeats=15)
+    (_n, recursive_s, twig_s, speedup), = rows
+    assert speedup >= 5.0, (
+        f"twig join {twig_s * 1e3:.3f}ms is only {speedup:.1f}x faster "
+        f"than the {recursive_s * 1e3:.3f}ms recursive match (need >= 5x)"
+    )
+
+
+def test_q1_default_not_slower_than_serial():
+    """The columnar/twig default must never lose to the seed path on the
+    end-to-end Q1 view materialization (it shares every other
+    optimization with serial; only the execution model differs)."""
+    (_n, serial_s, default_s, _speedup), = q1_rows(sizes=(400,), repeats=5)
+    assert default_s < serial_s, (
+        f"default policy {default_s * 1e3:.1f}ms lost to serial "
+        f"{serial_s * 1e3:.1f}ms on unoptimized Q1"
+    )

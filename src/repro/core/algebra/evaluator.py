@@ -34,6 +34,7 @@ from repro.errors import (
     SourceUnavailableError,
     UnknownDocumentError,
     UnknownSourceError,
+    UnknownVariableError,
 )
 from repro.core.algebra.bind import FilterMatcher, collection_explosion
 from repro.core.algebra.compiled import (
@@ -71,7 +72,8 @@ from repro.core.algebra.scheduling import (
 from repro.core.algebra.skolem import SkolemRegistry
 from repro.observability.context import RequestContext
 from repro.core.algebra.stats import ExecutionStats
-from repro.core.algebra.tab import Row, Tab, tab_serialized_size
+from repro.core.algebra.tab import ColumnCursor, Row, Tab, tab_serialized_size
+from repro.core.algebra.twig import compiled_twig
 from repro.core.algebra.tree import _orderable, construct
 from repro.model.filters import MISSING, MissingValue
 from repro.model.indexes import document_index, index_eligibility
@@ -299,8 +301,11 @@ def _dispatch(plan: Plan, env: Environment, outer: Optional[Row]) -> Tab:
     if isinstance(plan, SelectOp):
         return _eval_select(plan, env, outer)
     if isinstance(plan, DistinctOp):
-        tab = _evaluate(plan.input, env, outer).distinct()
+        source = _evaluate(plan.input, env, outer)
+        tab = source.distinct()
         env.stats.record_operator("Distinct", len(tab))
+        if env.policy.vectorize and source.is_columnar:
+            env.stats.record_batch(len(tab))
         return tab
     if isinstance(plan, ProjectOp):
         return _eval_project(plan, env, outer)
@@ -403,8 +408,20 @@ def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
     # match instead of a full scan.  The index yields ordered supersets
     # of candidates only, so bindings are byte-identical either way.
     use_indexes = env.policy.use_document_indexes
+    vectorize = env.policy.vectorize
     seeks = hits = builds = 0
     build_seconds = 0.0
+    twig_matches = twig_rows = twig_fallbacks = 0
+    # Holistic twig matching: a twig-expressible filter over an indexed
+    # document enumerates all embeddings in one positional join, emitting
+    # binding tuples in declaration order.  Targets without a usable
+    # index (small / reference / shared-node trees) fall back to the
+    # recursive engines below, byte-identical by construction.
+    twig = (
+        compiled_twig(plan.filter)
+        if env.policy.twig_joins and use_indexes
+        else None
+    )
     matcher: Optional[FilterMatcher] = None
     if env.policy.compile_kernels:
         kernel = compiled_filter(plan.filter)
@@ -444,50 +461,139 @@ def _eval_bind(plan: BindOp, env: Environment, outer: Optional[Row]) -> Tab:
                 matcher.document_index = index
             return matcher.match(target, plan.filter)
 
-    def match_many(targets):
-        bindings: List[dict] = []
+    def tuples_one(target):
+        """Binding cell tuples (declaration order) for one target tree."""
+        nonlocal builds, build_seconds, twig_matches, twig_rows, twig_fallbacks
+        if twig is not None:
+            index, built = document_index(target)
+            if built:
+                builds += 1
+                build_seconds += index.build_seconds
+            if index is not None and index.covers(target):
+                bindings = twig.match(target, index)
+                twig_matches += 1
+                twig_rows += len(bindings)
+                return bindings
+            twig_fallbacks += 1
+        return [
+            tuple(binding.get(var, MISSING) for var in variables)
+            for binding in match_one(target)
+        ]
+
+    def tuples_many(targets):
+        bindings: List[tuple] = []
         for target in targets:
-            bindings.extend(match_one(target))
+            bindings.extend(tuples_one(target))
             if len(bindings) > bound:
                 raise collection_explosion(bound)
         return bindings
 
-    out_columns = tuple(
-        c for c in input_tab.columns if plan.keep_on or c != plan.on
-    ) + variables
-    rows: List[Row] = []
-    for row in input_tab:
-        target = _lookup(row, outer, plan.on)
+    def tuples_for(target):
         if isinstance(target, tuple):
-            bindings = match_many(
-                [t for t in target if isinstance(t, DataNode)]
-            )
-        elif isinstance(target, DataNode):
-            bindings = match_one(target)
-        else:
-            bindings = []
-        base_cells = tuple(
-            row[c] for c in input_tab.columns if plan.keep_on or c != plan.on
+            return tuples_many([t for t in target if isinstance(t, DataNode)])
+        if isinstance(target, DataNode):
+            return tuples_one(target)
+        return []
+
+    keep_all = plan.keep_on
+    out_columns = tuple(
+        c for c in input_tab.columns if keep_all or c != plan.on
+    ) + variables
+
+    if vectorize:
+        result = _bind_columnar(
+            plan, env, outer, input_tab, out_columns, variables, tuples_for
         )
-        for binding in bindings:
-            cells = base_cells + tuple(
-                binding.get(var, MISSING) for var in variables
+    else:
+        rows: List[Row] = []
+        for row in input_tab:
+            target = _lookup(row, outer, plan.on)
+            bindings = tuples_for(target)
+            base_cells = tuple(
+                row[c] for c in input_tab.columns if keep_all or c != plan.on
             )
-            rows.append(Row(out_columns, cells))
+            for binding in bindings:
+                rows.append(Row(out_columns, base_cells + binding))
+        result = Tab(out_columns, rows)
+
     if matcher is not None:
         seeks += matcher.seeks
         hits += matcher.hits
-    env.stats.record_operator("Bind", len(rows))
+    env.stats.record_operator("Bind", len(result))
     if seeks or builds:
         env.stats.record_bind_index(seeks, hits, builds, build_seconds)
+    if twig_matches or twig_fallbacks:
+        env.stats.record_twig(twig_matches, twig_rows, twig_fallbacks)
     if env.tracer is not None:
-        if seeks:
+        if twig_matches:
+            env.tracer.annotate(
+                access="twig-join", twig_matches=twig_matches,
+                twig_fallbacks=twig_fallbacks,
+            )
+        elif seeks:
             env.tracer.annotate(
                 access="index-seek", index_seeks=seeks, index_hits=hits
             )
         else:
             env.tracer.annotate(access="scan")
-    return Tab(out_columns, rows)
+        if vectorize:
+            env.tracer.annotate(batch_rows=len(result))
+    return result
+
+
+def _bind_columnar(
+    plan: BindOp, env: Environment, outer: Optional[Row], input_tab: Tab,
+    out_columns, variables, tuples_for,
+) -> Tab:
+    """Vectorized Bind output: bindings zip straight into column arrays.
+
+    Base cells are gathered by repetition counts and binding tuples are
+    transposed once at the end — no per-output-row ``Row`` objects.
+    """
+    in_columns = input_tab.columns
+    length = len(input_tab)
+    in_cols = input_tab.column_data()
+    positions = {name: i for i, name in enumerate(in_columns)}
+    target_position = positions.get(plan.on)
+    outer_target = None
+    if target_position is None:
+        if outer is not None and plan.on in outer:
+            outer_target = outer[plan.on]
+        elif length:
+            raise EvaluationError(
+                f"Bind target ${plan.on} is neither a local nor an outer column"
+            )
+    target_col = in_cols[target_position] if target_position is not None else None
+
+    counts: List[int] = []
+    all_bindings: List[tuple] = []
+    for i in range(length):
+        target = target_col[i] if target_col is not None else outer_target
+        bindings = tuples_for(target)
+        counts.append(len(bindings))
+        all_bindings.extend(bindings)
+
+    total = len(all_bindings)
+    out_cols: List[tuple] = []
+    for name, source in zip(in_columns, in_cols):
+        if not plan.keep_on and name == plan.on:
+            continue
+        column: List[object] = []
+        extend = column.extend
+        append = column.append
+        for i, count in enumerate(counts):
+            if count == 1:
+                append(source[i])
+            elif count:
+                extend([source[i]] * count)
+        out_cols.append(tuple(column))
+    if variables:
+        if all_bindings:
+            out_cols.extend(zip(*all_bindings))
+        else:
+            out_cols.extend(() for _ in variables)
+    env.stats.record_batch(total)
+    return Tab.from_columns(out_columns, out_cols, total)
 
 
 def _eval_select(plan: SelectOp, env: Environment, outer: Optional[Row]) -> Tab:
@@ -498,6 +604,25 @@ def _eval_select(plan: SelectOp, env: Environment, outer: Optional[Row]) -> Tab:
         else plan.predicate.evaluate
     )
     functions = env.functions
+    if env.policy.vectorize and input_tab.is_columnar:
+        # Batch select: the predicate probes a reusable cursor over the
+        # column arrays; survivors are gathered by position.
+        cursor = ColumnCursor(input_tab, outer)
+        keep = [
+            i for i in range(len(input_tab))
+            if bool(predicate(cursor.seek(i), functions))
+        ]
+        result = Tab.from_columns(
+            input_tab.columns,
+            tuple(
+                tuple(column[i] for i in keep)
+                for column in input_tab.column_data()
+            ),
+            len(keep),
+        )
+        env.stats.record_operator("Select", len(keep))
+        env.stats.record_batch(len(keep))
+        return result
     rows = [
         row
         for row in input_tab
@@ -510,6 +635,23 @@ def _eval_select(plan: SelectOp, env: Environment, outer: Optional[Row]) -> Tab:
 def _eval_project(plan: ProjectOp, env: Environment, outer: Optional[Row]) -> Tab:
     input_tab = _evaluate(plan.input, env, outer)
     columns = tuple(alias for _c, alias in plan.items)
+    if env.policy.vectorize and input_tab.is_columnar:
+        # Batch project: pure column selection, zero per-row work.
+        positions = {name: i for i, name in enumerate(input_tab.columns)}
+        in_cols = input_tab.column_data()
+        data = []
+        for name, _alias in plan.items:
+            index = positions.get(name)
+            if index is None:
+                raise UnknownVariableError(
+                    f"unknown variable ${name}; row has "
+                    f"{list(input_tab.columns)}"
+                )
+            data.append(in_cols[index])
+        result = Tab.from_columns(columns, data, len(input_tab))
+        env.stats.record_operator("Project", len(result))
+        env.stats.record_batch(len(result))
+        return result
     rows = [
         Row(columns, tuple(row[c] for c, _a in plan.items)) for row in input_tab
     ]
@@ -673,10 +815,27 @@ def _eval_join(plan: JoinOp, env: Environment, outer: Optional[Row]) -> Tab:
     # Associative access (the Figure 7 payoff): equality and
     # reference-identity predicates evaluate as hash joins; everything
     # else falls back to the nested loop.
-    hashed = _hash_join(plan, left, right, out_columns, env, outer)
-    if hashed is not None:
-        env.stats.record_operator("Join", len(hashed))
-        return Tab(out_columns, hashed)
+    keys = _hash_join_keys(plan, left.columns, right.columns)
+    if keys is not None:
+        left_keys, right_keys = keys
+        if env.policy.vectorize and (left.is_columnar or right.is_columnar):
+            result = _hash_join_columnar(
+                left, right, out_columns, left_keys, right_keys
+            )
+            env.stats.record_operator("Join", len(result))
+            env.stats.record_batch(len(result))
+            return result
+        buckets: Dict[tuple, List[Row]] = {}
+        for rrow in right:
+            key = tuple(k(rrow) for k in right_keys)
+            buckets.setdefault(key, []).append(rrow)
+        rows: List[Row] = []
+        for lrow in left:
+            key = tuple(k(lrow) for k in left_keys)
+            for rrow in buckets.get(key, ()):
+                rows.append(Row(out_columns, lrow.cells + rrow.cells))
+        env.stats.record_operator("Join", len(rows))
+        return Tab(out_columns, rows)
 
     predicate = (
         compiled_predicate(plan.predicate)
@@ -693,20 +852,19 @@ def _eval_join(plan: JoinOp, env: Environment, outer: Optional[Row]) -> Tab:
     return Tab(out_columns, rows)
 
 
-def _hash_join(
-    plan: JoinOp, left: Tab, right: Tab, out_columns, env, outer
-) -> Optional[List[Row]]:
-    """Hash-join when every conjunct is hashable; ``None`` otherwise.
+def _hash_join_keys(plan: JoinOp, left_columns, right_columns):
+    """``(left key fns, right key fns)`` when every conjunct is hashable;
+    ``None`` otherwise.
 
     Hashable conjuncts: ``Var = Var`` across the two sides (keyed by the
     structural value), and ``ref_is($ref, $obj)`` (keyed by the reference
-    target / node identifier).
+    target / node identifier).  Key functions accept anything Row-shaped
+    (a Row or a :class:`ColumnCursor`).
     """
     from repro.core.algebra.expressions import Cmp, FunCall, Var, conjuncts
-    from repro.core.algebra.tab import _cell_key
 
-    left_cols = set(left.columns)
-    right_cols = set(right.columns)
+    left_cols = set(left_columns)
+    right_cols = set(right_columns)
     left_keys: List = []
     right_keys: List = []
     for part in conjuncts(plan.predicate):
@@ -744,17 +902,35 @@ def _hash_join(
             return None
     if not left_keys:
         return None
+    return left_keys, right_keys
 
-    buckets: Dict[tuple, List[Row]] = {}
-    for rrow in right:
-        key = tuple(k(rrow) for k in right_keys)
-        buckets.setdefault(key, []).append(rrow)
-    rows: List[Row] = []
-    for lrow in left:
-        key = tuple(k(lrow) for k in left_keys)
-        for rrow in buckets.get(key, ()):
-            rows.append(Row(out_columns, lrow.cells + rrow.cells))
-    return rows
+
+def _hash_join_columnar(
+    left: Tab, right: Tab, out_columns, left_keys, right_keys
+) -> Tab:
+    """Batch hash join: match by cursor probes, emit by column gathers."""
+    right_cursor = ColumnCursor(right)
+    buckets: Dict[tuple, List[int]] = {}
+    for j in range(len(right)):
+        right_cursor.seek(j)
+        key = tuple(k(right_cursor) for k in right_keys)
+        buckets.setdefault(key, []).append(j)
+    left_cursor = ColumnCursor(left)
+    left_picks: List[int] = []
+    right_picks: List[int] = []
+    for i in range(len(left)):
+        left_cursor.seek(i)
+        key = tuple(k(left_cursor) for k in left_keys)
+        matched = buckets.get(key)
+        if matched:
+            left_picks.extend([i] * len(matched))
+            right_picks.extend(matched)
+    data = [
+        tuple(column[i] for i in left_picks) for column in left.column_data()
+    ] + [
+        tuple(column[j] for j in right_picks) for column in right.column_data()
+    ]
+    return Tab.from_columns(out_columns, data, len(left_picks))
 
 
 def _unwrap(value):
@@ -843,6 +1019,47 @@ def _eval_djoin(plan: DJoinOp, env: Environment, outer: Optional[Row]) -> Tab:
     else:
         for key in order:
             tabs[key] = _evaluate(plan.right, env, representative[key])
+
+    # Batched re-expansion as column gathers: when every right-branch Tab
+    # shares one column layout, the output is assembled without building a
+    # Row per result — left cells repeat per match count, right columns
+    # concatenate in outer-row order (identical to the nested loop).
+    right_columns = None
+    uniform = env.policy.vectorize
+    if uniform:
+        for tab in tabs.values():
+            if right_columns is None:
+                right_columns = tab.columns
+            elif tab.columns != right_columns:
+                uniform = False
+                break
+    if uniform and right_columns is not None:
+        out_columns = left.columns + right_columns
+        left_cols = left.column_data()
+        out_left = [[] for _ in left.columns]
+        out_right = [[] for _ in right_columns]
+        total = 0
+        for i, key in enumerate(keys):
+            right = tabs[key]
+            count = len(right)
+            if not count:
+                continue
+            total += count
+            for gathered, column in zip(out_left, left_cols):
+                if count == 1:
+                    gathered.append(column[i])
+                else:
+                    gathered.extend([column[i]] * count)
+            for gathered, column in zip(out_right, right.column_data()):
+                gathered.extend(column)
+        data = tuple(tuple(col) for col in out_left) + tuple(
+            tuple(col) for col in out_right
+        )
+        result = Tab.from_columns(out_columns, data, total)
+        env.stats.record_operator("DJoin", total)
+        env.stats.record_batch(total)
+        return result
+
     rows = []
     for lrow, key in zip(left.rows, keys):
         right = tabs[key]
@@ -918,6 +1135,17 @@ def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
         return combined
     if left.columns != right.columns:
         right = right.project(left.columns)
+    if env.policy.vectorize and (left.is_columnar or right.is_columnar):
+        data = tuple(
+            lcol + rcol
+            for lcol, rcol in zip(left.column_data(), right.column_data())
+        )
+        combined = Tab.from_columns(
+            left.columns, data, len(left) + len(right)
+        ).distinct()
+        env.stats.record_operator("Union", len(combined))
+        env.stats.record_batch(len(combined))
+        return combined
     combined = Tab(left.columns, tuple(left.rows) + tuple(right.rows)).distinct()
     env.stats.record_operator("Union", len(combined))
     return combined

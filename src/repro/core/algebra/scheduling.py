@@ -60,13 +60,19 @@ class ExecutionPolicy:
     matcher/evaluator.  ``use_document_indexes`` lets seekable Bind
     filters consult the lazy per-document label/value indexes of
     :mod:`repro.model.indexes` (associative access) instead of scanning.
-    All are on by default: they never change the produced Tab, only the
-    amount of mediator work.
+    ``vectorize`` switches the evaluator's Select/Join/Union/DJoin and
+    Bind output onto columnar Tab batches (late materialization) instead
+    of per-row ``Row`` objects, and ``twig_joins`` lets twig-expressible
+    Bind filters run as one holistic positional join
+    (:mod:`repro.core.algebra.twig`) over indexed documents instead of
+    recursive descent.  All are on by default: they never change the
+    produced Tab, only the amount of mediator work.
     """
 
     __slots__ = (
         "parallelism", "cache_source_calls", "batch_djoin",
-        "compile_kernels", "use_document_indexes",
+        "compile_kernels", "use_document_indexes", "vectorize",
+        "twig_joins",
     )
 
     def __init__(
@@ -76,6 +82,8 @@ class ExecutionPolicy:
         batch_djoin: bool = True,
         compile_kernels: bool = True,
         use_document_indexes: bool = True,
+        vectorize: bool = True,
+        twig_joins: bool = True,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -84,18 +92,22 @@ class ExecutionPolicy:
         self.batch_djoin = batch_djoin
         self.compile_kernels = compile_kernels
         self.use_document_indexes = use_document_indexes
+        self.vectorize = vectorize
+        self.twig_joins = twig_joins
 
     @classmethod
     def serial(cls) -> "ExecutionPolicy":
         """The seed behavior, byte for byte: no pool, no cache, no
-        batching, interpretive matching, no indexes (the differential
-        oracle)."""
+        batching, interpretive matching, no indexes, row-at-a-time
+        execution (the differential oracle)."""
         return cls(
             parallelism=1,
             cache_source_calls=False,
             batch_djoin=False,
             compile_kernels=False,
             use_document_indexes=False,
+            vectorize=False,
+            twig_joins=False,
         )
 
     @classmethod
@@ -113,7 +125,9 @@ class ExecutionPolicy:
             f"cache_source_calls={self.cache_source_calls}, "
             f"batch_djoin={self.batch_djoin}, "
             f"compile_kernels={self.compile_kernels}, "
-            f"use_document_indexes={self.use_document_indexes})"
+            f"use_document_indexes={self.use_document_indexes}, "
+            f"vectorize={self.vectorize}, "
+            f"twig_joins={self.twig_joins})"
         )
 
 

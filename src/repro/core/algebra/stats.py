@@ -67,6 +67,17 @@ class ExecutionStats:
         self.bind_index_hits: int = 0
         self.bind_index_builds: int = 0
         self.bind_index_build_seconds: float = 0.0
+        #: Holistic twig matching: targets matched via the positional
+        #: twig join, binding tuples it produced, and targets that fell
+        #: back to recursive matching (unindexed tree / unsupported
+        #: filter shape) on a Bind where the twig path was engaged.
+        self.twig_matches: int = 0
+        self.twig_bindings: int = 0
+        self.twig_fallbacks: int = 0
+        #: Vectorized execution: operator evaluations that ran on
+        #: columnar batches and the rows they carried.
+        self.batch_operators: int = 0
+        self.batch_rows: int = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -148,6 +159,19 @@ class ExecutionStats:
             self.bind_index_builds += builds
             self.bind_index_build_seconds += build_seconds
 
+    def record_twig(self, matches: int, bindings: int, fallbacks: int) -> None:
+        """Record one Bind's holistic twig-join usage."""
+        with self._lock:
+            self.twig_matches += matches
+            self.twig_bindings += bindings
+            self.twig_fallbacks += fallbacks
+
+    def record_batch(self, rows: int) -> None:
+        """Record one operator evaluation that ran on columnar batches."""
+        with self._lock:
+            self.batch_operators += 1
+            self.batch_rows += rows
+
     # -- totals ---------------------------------------------------------------
 
     @property
@@ -197,6 +221,11 @@ class ExecutionStats:
             "bind_index_hits": self.bind_index_hits,
             "bind_index_builds": self.bind_index_builds,
             "bind_index_build_seconds": self.bind_index_build_seconds,
+            "twig_matches": self.twig_matches,
+            "twig_bindings": self.twig_bindings,
+            "twig_fallbacks": self.twig_fallbacks,
+            "batch_operators": self.batch_operators,
+            "batch_rows": self.batch_rows,
         }
 
     def summary(self) -> str:
@@ -228,6 +257,17 @@ class ExecutionStats:
                 f"bind index: {self.bind_index_seeks} seeks, "
                 f"{self.bind_index_hits} hits, "
                 f"{self.bind_index_builds} builds"
+            )
+        if self.twig_matches or self.twig_fallbacks:
+            lines.append(
+                f"twig join: {self.twig_matches} matches, "
+                f"{self.twig_bindings} bindings, "
+                f"{self.twig_fallbacks} fallbacks"
+            )
+        if self.batch_operators:
+            lines.append(
+                f"vectorized: {self.batch_operators} batch operators, "
+                f"{self.batch_rows} batch rows"
             )
         if self.total_failures or self.total_retries:
             lines.append(

@@ -40,18 +40,52 @@ from repro.model.xml_io import (
 
 Cell = object  # Atom | DataNode | tuple | MissingValue
 
+#: Bounded process-wide memo of column shapes.  Keyed by the columns
+#: tuple itself; the value is ``(interned_tuple, {name: position})`` so
+#: every Row/Tab of the same shape shares one tuple and one position map
+#: (O(1) column probes instead of ``tuple.index``'s O(n) scan).  Cleared
+#: wholesale when full, like the other bounded memos in this codebase.
+_COLUMN_MAP_CAPACITY = 4096
+_COLUMN_MAPS: dict = {}
+
+
+def _column_map(columns: Sequence[str]) -> Tuple[Tuple[str, ...], dict]:
+    columns = tuple(columns)
+    entry = _COLUMN_MAPS.get(columns)
+    if entry is None:
+        if len(_COLUMN_MAPS) >= _COLUMN_MAP_CAPACITY:
+            _COLUMN_MAPS.clear()
+        positions: dict = {}
+        for index, name in enumerate(columns):
+            # First occurrence wins, matching ``tuple.index`` semantics
+            # for (pathological) duplicate column names.
+            if name not in positions:
+                positions[name] = index
+        entry = (columns, positions)
+        _COLUMN_MAPS[columns] = entry
+    return entry
+
+
+def column_map_stats() -> dict:
+    """Entries/capacity of the shared column-shape memo (observability)."""
+    return {
+        "entries": len(_COLUMN_MAPS),
+        "capacity": _COLUMN_MAP_CAPACITY,
+        "evictions": 0,
+    }
+
 
 class Row:
     """One row of a :class:`Tab`: an immutable mapping column -> cell."""
 
-    __slots__ = ("_columns", "_cells", "_vkey", "_vhash")
+    __slots__ = ("_columns", "_cells", "_positions", "_vkey", "_vhash")
 
     def __init__(self, columns: Sequence[str], cells: Sequence[Cell]) -> None:
         if len(columns) != len(cells):
             raise AlgebraError(
                 f"row arity mismatch: {len(columns)} columns, {len(cells)} cells"
             )
-        self._columns = tuple(columns)
+        self._columns, self._positions = _column_map(columns)
         self._cells = tuple(cells)
         # Rows are immutable; the structural key and hash are computed at
         # most once per row (distinct(), hash-join probes, set operators
@@ -68,21 +102,22 @@ class Row:
         return self._cells
 
     def __getitem__(self, column: str) -> Cell:
-        try:
-            return self._cells[self._columns.index(column)]
-        except ValueError:
+        index = self._positions.get(column)
+        if index is None:
             raise UnknownVariableError(
                 f"unknown variable ${column}; row has {list(self._columns)}"
-            ) from None
+            )
+        return self._cells[index]
 
     def get(self, column: str, default: Cell = None) -> Cell:
         """Like ``dict.get`` over the row's columns."""
-        if column in self._columns:
-            return self[column]
-        return default
+        index = self._positions.get(column)
+        if index is None:
+            return default
+        return self._cells[index]
 
     def __contains__(self, column: str) -> bool:
-        return column in self._columns
+        return column in self._positions
 
     def as_dict(self) -> dict:
         """A fresh ``{column: cell}`` dictionary for this row."""
@@ -141,19 +176,30 @@ def _cell_key(cell: Cell) -> object:
 
 
 class Tab:
-    """A ¬1NF relation: named columns plus a sequence of rows."""
+    """A ¬1NF relation: named columns plus a sequence of rows.
 
-    __slots__ = ("_columns", "_rows", "_ssize")
+    Storage is dual: a Tab holds either materialized :class:`Row` objects
+    (the seed representation, still the wire/wrapper format) or parallel
+    per-column cell arrays (the vectorized evaluator's batch format, see
+    :meth:`from_columns`).  Either side is derived lazily from the other
+    and cached — *late materialization*: a columnar Tab only pays for Row
+    objects when a row-at-a-time consumer (serialization, tree
+    construction, the interpretive oracle) actually iterates it.
+    """
+
+    __slots__ = ("_columns", "_rows", "_cols", "_length", "_ssize")
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Row] = ()) -> None:
-        self._columns = tuple(columns)
+        self._columns, _ = _column_map(columns)
         rows = tuple(rows)
         for row in rows:
-            if row.columns != self._columns:
+            if row.columns is not self._columns and row.columns != self._columns:
                 raise AlgebraError(
                     f"row columns {row.columns} do not match tab columns {self._columns}"
                 )
         self._rows = rows
+        self._cols = None
+        self._length = len(rows)
         # Serialized byte size, cached by ``tab_serialized_size`` — a
         # wrapper-cached pushed result is re-measured on every hit.
         self._ssize = None
@@ -167,47 +213,148 @@ class Tab:
         ]
         return cls(columns, rows)
 
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[str],
+        column_data: Sequence[Sequence[Cell]],
+        length: int = None,
+    ) -> "Tab":
+        """Build a columnar Tab from parallel per-column cell arrays.
+
+        No Row objects are created; they materialize lazily on first
+        row-wise access.  All columns must share one length (pass
+        *length* explicitly for the zero-column edge case).
+        """
+        tab = cls.__new__(cls)
+        tab._columns, _ = _column_map(columns)
+        cols = tuple(
+            data if type(data) is tuple else tuple(data) for data in column_data
+        )
+        if len(cols) != len(tab._columns):
+            raise AlgebraError(
+                f"column data arity mismatch: {len(tab._columns)} columns, "
+                f"{len(cols)} arrays"
+            )
+        if length is None:
+            length = len(cols[0]) if cols else 0
+        for data in cols:
+            if len(data) != length:
+                raise AlgebraError(
+                    f"ragged column data: expected {length} cells, got {len(data)}"
+                )
+        tab._rows = None
+        tab._cols = cols
+        tab._length = length
+        tab._ssize = None
+        return tab
+
     @property
     def columns(self) -> Tuple[str, ...]:
         return self._columns
 
     @property
     def rows(self) -> Tuple[Row, ...]:
-        return self._rows
+        rows = self._rows
+        if rows is None:
+            columns = self._columns
+            if self._cols:
+                rows = tuple(Row(columns, cells) for cells in zip(*self._cols))
+            else:
+                rows = tuple(Row(columns, ()) for _ in range(self._length))
+            self._rows = rows
+        return rows
+
+    @property
+    def is_columnar(self) -> bool:
+        """True while the Tab holds only column arrays (no Row objects)."""
+        return self._rows is None
+
+    def column_data(self) -> Tuple[Tuple[Cell, ...], ...]:
+        """Parallel per-column cell arrays (derived from rows if needed)."""
+        cols = self._cols
+        if cols is None:
+            if self._rows:
+                cols = tuple(zip(*(row.cells for row in self._rows)))
+            else:
+                cols = tuple(() for _ in self._columns)
+            self._cols = cols
+        return cols
+
+    def column(self, name: str) -> Tuple[Cell, ...]:
+        """One column's cells, by name."""
+        index = _column_map(self._columns)[1].get(name)
+        if index is None:
+            raise UnknownVariableError(
+                f"unknown variable ${name}; tab has {list(self._columns)}"
+            )
+        return self.column_data()[index]
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._length
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Tab):
             return NotImplemented
-        return self._columns == other._columns and self._rows == other._rows
+        return self._columns == other._columns and self.rows == other.rows
 
     def __repr__(self) -> str:
-        return f"Tab({list(self._columns)}, {len(self._rows)} rows)"
+        return f"Tab({list(self._columns)}, {self._length} rows)"
 
     # -- algebra-support helpers -------------------------------------------
 
     def project(self, columns: Sequence[str]) -> "Tab":
         """Restrict every row to *columns* (order preserved as given)."""
-        return Tab(tuple(columns), [row.projected(columns) for row in self._rows])
+        columns = tuple(columns)
+        if self._rows is None:
+            positions = _column_map(self._columns)[1]
+            data = []
+            for name in columns:
+                index = positions.get(name)
+                if index is None:
+                    raise UnknownVariableError(
+                        f"unknown variable ${name}; row has {list(self._columns)}"
+                    )
+                data.append(self._cols[index])
+            return Tab.from_columns(columns, data, self._length)
+        return Tab(columns, [row.projected(columns) for row in self._rows])
 
     def rename(self, mapping: dict) -> "Tab":
         """Rename columns through *mapping* (old -> new)."""
-        return Tab(
-            tuple(mapping.get(c, c) for c in self._columns),
-            [row.renamed(mapping) for row in self._rows],
-        )
+        renamed = tuple(mapping.get(c, c) for c in self._columns)
+        if self._rows is None:
+            return Tab.from_columns(renamed, self._cols, self._length)
+        return Tab(renamed, [row.renamed(mapping) for row in self._rows])
 
     def select(self, predicate: Callable[[Row], bool]) -> "Tab":
         """Keep rows satisfying *predicate*."""
-        return Tab(self._columns, [row for row in self._rows if predicate(row)])
+        return Tab(self._columns, [row for row in self.rows if predicate(row)])
 
     def distinct(self) -> "Tab":
         """Remove duplicate rows (structural value equality)."""
+        if self._rows is None:
+            # Batch-level distinct: structural keys straight off the
+            # column arrays, no Row materialization.
+            cols = self._cols
+            seen = set()
+            keep: List[int] = []
+            for index, cells in enumerate(zip(*cols) if cols else ()):
+                key = tuple(_cell_key(cell) for cell in cells)
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(index)
+            if not cols:
+                keep = [0] if self._length else []
+            if len(keep) == self._length:
+                return self
+            return Tab.from_columns(
+                self._columns,
+                tuple(tuple(col[i] for i in keep) for col in cols),
+                len(keep),
+            )
         seen = set()
         kept: List[Row] = []
         for row in self._rows:
@@ -220,22 +367,69 @@ class Tab:
     def extend(self, columns: Sequence[str], compute: Callable[[Row], Sequence[Cell]]) -> "Tab":
         """Append computed columns to every row."""
         new_columns = self._columns + tuple(columns)
-        rows = [row.extended(columns, compute(row)) for row in self._rows]
+        rows = [row.extended(columns, compute(row)) for row in self.rows]
         return Tab(new_columns, rows)
 
     def sorted_by(self, key: Callable[[Row], object], reverse: bool = False) -> "Tab":
         """Rows sorted by *key*."""
-        return Tab(self._columns, sorted(self._rows, key=key, reverse=reverse))
+        return Tab(self._columns, sorted(self.rows, key=key, reverse=reverse))
 
     def pretty(self, limit: int = 20) -> str:
         """Plain-text table rendering for examples and debugging."""
         header = " | ".join(f"${c}" for c in self._columns)
         lines = [header, "-" * len(header)]
-        for row in self._rows[:limit]:
+        for row in self.rows[:limit]:
             lines.append(" | ".join(_cell_text(cell) for cell in row.cells))
-        if len(self._rows) > limit:
-            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        if self._length > limit:
+            lines.append(f"... ({self._length - limit} more rows)")
         return "\n".join(lines)
+
+
+class ColumnCursor:
+    """A reusable Row-shaped view over one position of a columnar Tab.
+
+    Vectorized Select/Join evaluate predicates against this cursor
+    instead of materializing a Row per input position: :meth:`seek` moves
+    the view, ``__getitem__``/``get``/``__contains__`` behave exactly
+    like the Row they stand in for.  Optional *outer* provides the
+    correlation overlay (DJoin outer bindings) consulted for columns the
+    batch does not carry.
+    """
+
+    __slots__ = ("_columns", "_positions", "_cols", "_outer", "_index")
+
+    def __init__(self, tab: Tab, outer: "Row" = None) -> None:
+        self._columns, self._positions = _column_map(tab.columns)
+        self._cols = tab.column_data()
+        self._outer = outer
+        self._index = 0
+
+    def seek(self, index: int) -> "ColumnCursor":
+        self._index = index
+        return self
+
+    def __getitem__(self, column: str) -> Cell:
+        position = self._positions.get(column)
+        if position is not None:
+            return self._cols[position][self._index]
+        if self._outer is not None and column in self._outer:
+            return self._outer[column]
+        raise UnknownVariableError(
+            f"unknown variable ${column}; row has {list(self._columns)}"
+        )
+
+    def get(self, column: str, default: Cell = None) -> Cell:
+        position = self._positions.get(column)
+        if position is not None:
+            return self._cols[position][self._index]
+        if self._outer is not None:
+            return self._outer.get(column, default)
+        return default
+
+    def __contains__(self, column: str) -> bool:
+        if column in self._positions:
+            return True
+        return self._outer is not None and column in self._outer
 
 
 def _cell_text(cell: Cell) -> str:

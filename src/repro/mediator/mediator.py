@@ -464,11 +464,14 @@ class Mediator:
         bytes and cache hits.
 
         Every Bind node is annotated with the access path the cost model
-        chose for it — ``bind: index-seek on (artist,'Picasso')`` when
-        the filter is sargable and document indexes are enabled under
-        the effective execution policy, ``bind: scan`` otherwise.
+        chose for it — ``bind: twig-join`` when the filter compiles to a
+        holistic twig pattern under the effective execution policy,
+        ``bind: index-seek on (artist,'Picasso')`` when the filter is
+        sargable and document indexes are enabled, ``bind: scan``
+        otherwise.
         """
         from repro.core.algebra.operators import BindOp
+        from repro.core.algebra.twig import compiled_twig
         from repro.core.optimizer.cost import choose_bind_access
         from repro.observability.explain import Explanation
         from repro.observability.tracer import Tracer
@@ -478,10 +481,14 @@ class Mediator:
         )
         effective = execution if execution is not None else self.execution
         indexes_on = effective is None or effective.use_document_indexes
+        twig_on = indexes_on and (effective is None or effective.twig_joins)
         hints = self.cost_hints()
         access_paths = {}
         for node in optimized.walk():
             if isinstance(node, BindOp):
+                if twig_on and compiled_twig(node.filter) is not None:
+                    access_paths[id(node)] = "bind: twig-join"
+                    continue
                 access = (
                     choose_bind_access(node, hints)
                     if indexes_on

@@ -78,7 +78,7 @@ class DocumentIndex:
     __slots__ = (
         "_nodes", "_parents", "_ends", "_ids",
         "_label_positions", "_value_positions", "_range_lists",
-        "supports_seek", "node_count", "build_seconds",
+        "_child_maps", "supports_seek", "node_count", "build_seconds",
     )
 
     def __init__(self, root: DataNode) -> None:
@@ -125,6 +125,10 @@ class DocumentIndex:
         #: runs backing the range lookups; kind separates numbers from
         #: strings so mixed-type leaves never hit a comparison TypeError.
         self._range_lists: Dict[Tuple[str, str], Tuple[list, List[int]]] = {}
+        #: Lazily built ``label -> {parent position: [child positions]}``
+        #: maps backing the holistic twig join (one grouping pass per
+        #: label, amortized across every match over this document).
+        self._child_maps: Dict[str, Dict[int, List[int]]] = {}
         self.supports_seek = not has_references and not shared
         self.node_count = count
         self.build_seconds = time.perf_counter() - started
@@ -143,6 +147,50 @@ class DocumentIndex:
         if pos is None or self._nodes[pos] is not node:
             raise KeyError(f"node {node!r} is not part of the indexed document")
         return pos
+
+    # -- positional access (twig joins) -------------------------------------
+
+    @property
+    def preorder_nodes(self) -> List[DataNode]:
+        """Every node of the document in pre-order position order."""
+        return self._nodes
+
+    @property
+    def subtree_ends(self) -> List[int]:
+        """``ends[p]``: one past the last position of ``p``'s subtree."""
+        return self._ends
+
+    def position_of(self, node: DataNode) -> int:
+        """Pre-order position of *node* (KeyError when not indexed)."""
+        return self._position(node)
+
+    def label_list(self, label: str) -> Sequence[int]:
+        """Sorted pre-order positions of every *label*-labeled node."""
+        return self._label_positions.get(label, ())
+
+    def children_map(self, label: str) -> Dict[int, List[int]]:
+        """``parent position -> child positions`` for *label*-labeled children.
+
+        Built lazily, once per label per document, by a single grouping
+        pass over the label's position list; twig joins then resolve a
+        parent/child edge with one dict probe instead of scanning the
+        parent's children.  Child positions come out ascending, i.e. in
+        document order.  The benign build race under concurrent matches
+        mirrors ``_range_lists``.
+        """
+        mapped = self._child_maps.get(label)
+        if mapped is None:
+            mapped = {}
+            parents = self._parents
+            for position in self._label_positions.get(label, ()):
+                parent = parents[position]
+                bucket = mapped.get(parent)
+                if bucket is None:
+                    mapped[parent] = [position]
+                else:
+                    bucket.append(position)
+            self._child_maps[label] = mapped
+        return mapped
 
     # -- label index --------------------------------------------------------
 

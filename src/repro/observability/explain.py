@@ -35,7 +35,8 @@ class NodeActuals:
     """
 
     __slots__ = ("evals", "rows", "wall", "cpu", "calls", "bytes",
-                 "cache_hits", "index_seeks", "index_hits", "native")
+                 "cache_hits", "index_seeks", "index_hits",
+                 "twig_matches", "twig_fallbacks", "batch_rows", "native")
 
     def __init__(self) -> None:
         self.evals = 0
@@ -47,6 +48,9 @@ class NodeActuals:
         self.cache_hits = 0
         self.index_seeks = 0
         self.index_hits = 0
+        self.twig_matches = 0
+        self.twig_fallbacks = 0
+        self.batch_rows = 0
         #: First native query text this node executed (``Pushed`` only).
         self.native: Optional[str] = None
 
@@ -65,6 +69,12 @@ class NodeActuals:
         if self.index_seeks:
             parts.append(f"seeks={self.index_seeks}")
             parts.append(f"seek_hits={self.index_hits}")
+        if self.twig_matches:
+            parts.append(f"twig={self.twig_matches}")
+            if self.twig_fallbacks:
+                parts.append(f"twig_fallbacks={self.twig_fallbacks}")
+        if self.batch_rows:
+            parts.append(f"batch={self.batch_rows}")
         return " ".join(parts)
 
     def __repr__(self) -> str:
@@ -97,6 +107,9 @@ def collect_actuals(tracer) -> Dict[int, NodeActuals]:
         entry.cache_hits += int(span.attrs.get("cache_hits", 0))  # type: ignore[arg-type]
         entry.index_seeks += int(span.attrs.get("index_seeks", 0))  # type: ignore[arg-type]
         entry.index_hits += int(span.attrs.get("index_hits", 0))  # type: ignore[arg-type]
+        entry.twig_matches += int(span.attrs.get("twig_matches", 0))  # type: ignore[arg-type]
+        entry.twig_fallbacks += int(span.attrs.get("twig_fallbacks", 0))  # type: ignore[arg-type]
+        entry.batch_rows += int(span.attrs.get("batch_rows", 0))  # type: ignore[arg-type]
         native = span.attrs.get("native")
         if entry.native is None and isinstance(native, str):
             entry.native = native

@@ -444,6 +444,26 @@ def record_execution(
         "yat_bind_index_build_seconds_total",
         "Wall time spent building document indexes.",
     ).inc(stats.bind_index_build_seconds)
+    registry.counter(
+        "yat_twig_matches_total",
+        "Bind targets matched by the holistic twig join.",
+    ).inc(stats.twig_matches)
+    registry.counter(
+        "yat_twig_bindings_total",
+        "Binding tuples produced by the holistic twig join.",
+    ).inc(stats.twig_bindings)
+    registry.counter(
+        "yat_twig_fallbacks_total",
+        "Bind targets that fell back to recursive matching.",
+    ).inc(stats.twig_fallbacks)
+    registry.counter(
+        "yat_batch_operators_total",
+        "Operator evaluations that ran on columnar batches.",
+    ).inc(stats.batch_operators)
+    registry.counter(
+        "yat_batch_rows_total",
+        "Rows carried by columnar batch operator evaluations.",
+    ).inc(stats.batch_rows)
 
     trace = getattr(report, "trace", None)
     if trace is not None:
@@ -538,6 +558,8 @@ def record_memo_stats(registry: MetricsRegistry, mediator) -> None:
     through more distinct queries than the bound can hold.
     """
     from repro.core.algebra.compiled import kernel_cache_stats
+    from repro.core.algebra.tab import column_map_stats
+    from repro.core.algebra.twig import twig_cache_stats
     from repro.model.indexes import index_registry_stats
 
     entries = registry.gauge(
@@ -566,6 +588,8 @@ def record_memo_stats(registry: MetricsRegistry, mediator) -> None:
         "evictions": kernels["evictions"],
     })
     export("document_indexes", index_registry_stats())
+    export("twig_kernels", twig_cache_stats())
+    export("column_maps", column_map_stats())
     catalog = getattr(mediator, "catalog", None)
     adapters = catalog.adapters() if catalog is not None else {}
     for source, adapter in sorted(adapters.items()):

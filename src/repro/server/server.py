@@ -139,8 +139,8 @@ class Ticket:
     """Handle on one admitted request; :meth:`result` blocks for it."""
 
     __slots__ = ("request_id", "text", "tenant", "priority", "deadline",
-                 "degrade", "tracer", "submitted_at", "started_at",
-                 "completed_at", "_event", "_result", "_error")
+                 "degrade", "tracer", "execution", "submitted_at",
+                 "started_at", "completed_at", "_event", "_result", "_error")
 
     def __init__(
         self,
@@ -152,6 +152,7 @@ class Ticket:
         degrade: bool,
         tracer,
         submitted_at: float,
+        execution: Optional[ExecutionPolicy] = None,
     ) -> None:
         self.request_id = request_id
         self.text = text
@@ -161,6 +162,9 @@ class Ticket:
         #: True when shedding flipped this request into degraded mode.
         self.degrade = degrade
         self.tracer = tracer
+        #: Per-request :class:`ExecutionPolicy` override (``None`` defers
+        #: to the server's configured policy).
+        self.execution = execution
         self.submitted_at = submitted_at
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None
@@ -288,12 +292,19 @@ class MediatorServer:
         priority: str = "normal",
         deadline: Optional[float] = None,
         tracer=None,
+        execution: Optional[ExecutionPolicy] = None,
     ) -> Ticket:
         """Admit one YATL query; returns a :class:`Ticket` or raises.
 
         *deadline* is a relative time budget in seconds (defaulting to
         the server's ``default_deadline``); it bounds queueing *and*
-        execution.  Raises :class:`~repro.errors.QuotaExceededError` or
+        execution.  *execution* overrides the server's configured
+        :class:`ExecutionPolicy` for this one request — a client can turn
+        off vectorization or run the serial oracle for a differential
+        check — but it must not claim more parallel workers than the
+        server's own policy grants (``ValueError`` otherwise, decided at
+        submission so the caller finds out immediately, not through the
+        ticket).  Raises :class:`~repro.errors.QuotaExceededError` or
         :class:`~repro.errors.OverloadedError` — both carrying
         ``retry_after`` — when the request cannot be accepted; rejection
         never blocks on running queries.
@@ -302,6 +313,14 @@ class MediatorServer:
             raise ValueError(
                 f"unknown priority {priority!r}; expected one of {PRIORITIES}"
             )
+        if execution is not None and self.config.execution is not None:
+            ceiling = self.config.execution.parallelism
+            if execution.parallelism > ceiling:
+                raise ValueError(
+                    f"per-request execution override asks for parallelism "
+                    f"{execution.parallelism}, above the server's "
+                    f"configured {ceiling}"
+                )
         now = self._clock()
         config = self.config
         with self._lock:
@@ -353,6 +372,7 @@ class MediatorServer:
                 degrade=degrade,
                 tracer=tracer,
                 submitted_at=now,
+                execution=execution,
             )
             self._queues[priority].append(ticket)
             self._depth += 1
@@ -426,7 +446,11 @@ class MediatorServer:
             result = self.mediator.query(
                 ticket.text,
                 policy=policy,
-                execution=self.config.execution,
+                execution=(
+                    ticket.execution
+                    if ticket.execution is not None
+                    else self.config.execution
+                ),
                 context=context,
             )
         except BaseException as exc:  # delivered through Ticket.result

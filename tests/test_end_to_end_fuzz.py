@@ -168,6 +168,42 @@ class TestIndexSoundness:
         assert tree_to_xml(indexed) == tree_to_xml(scan)
 
 
+class TestVectorizedTwigSoundness:
+    """Columnar execution and twig matching must never change a byte.
+
+    The oracle is ``ExecutionPolicy.serial()`` — row-at-a-time evaluation
+    with recursive Bind matching, the seed semantics.  The subjects sweep
+    the full ``vectorize`` × ``twig_joins`` grid; the artifacts side of
+    these queries carries reference nodes, so the sweep also exercises
+    the twig path's fallback to recursive matching on trees the
+    document index refuses (``supports_seek=False``).
+    """
+
+    GRID = tuple(
+        ExecutionPolicy(vectorize=vectorize, twig_joins=twig)
+        for vectorize in (False, True)
+        for twig in (False, True)
+    )
+
+    @given(params=datasets)
+    @settings(max_examples=15, deadline=None)
+    def test_vectorize_twig_grid_agrees(self, params):
+        for text in (Q1, Q2):
+            reference = tree_to_xml(
+                build(
+                    params, declare_containment=False,
+                    execution=ExecutionPolicy.serial(),
+                ).query(text).document()
+            )
+            for execution in self.GRID:
+                subject = build(
+                    params, declare_containment=False, execution=execution
+                )
+                assert (
+                    tree_to_xml(subject.query(text).document()) == reference
+                ), f"divergence on {text!r} under {execution!r}"
+
+
 class TestCompileOnceSoundness:
     """Plan-cache + compiled-kernel differential against the seed path.
 

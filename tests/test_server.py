@@ -116,12 +116,14 @@ class BlockingMediator:
         self.release = threading.Event()
         self.contexts = []
         self.policies = []
+        self.executions = []
         self._lock = threading.Lock()
 
     def query(self, text, policy=None, execution=None, context=None):
         with self._lock:
             self.contexts.append(context)
             self.policies.append(policy)
+            self.executions.append(execution)
         if not self.release.wait(20):  # pragma: no cover - guard
             raise TimeoutError("BlockingMediator never released")
         return SimpleNamespace(admission=None, text=text)
@@ -288,6 +290,65 @@ class TestAdmission:
         assert stats["admitted"] == 1
         assert stats["completed"] == 1
         assert stats["queue_depth"] == 0
+
+
+# ---------------------------------------------------------------------------
+# per-request execution overrides
+
+
+@pytest.mark.usefixtures("deadlock_guard")
+class TestExecutionOverride:
+    def test_override_reaches_the_mediator(self):
+        mediator = BlockingMediator()
+        mediator.release.set()
+        config = ServerConfig(
+            workers=1, execution=ExecutionPolicy(parallelism=2)
+        )
+        with MediatorServer(mediator, config) as server:
+            serial = ExecutionPolicy.serial()
+            server.submit("q", execution=serial).result(5)
+            server.submit("q2").result(5)
+        assert mediator.executions[0] is serial
+        # Without an override the server's configured policy applies.
+        assert mediator.executions[1] is config.execution
+
+    def test_override_above_server_parallelism_is_rejected(self):
+        mediator = BlockingMediator()
+        mediator.release.set()
+        config = ServerConfig(
+            workers=1, execution=ExecutionPolicy(parallelism=2)
+        )
+        with MediatorServer(mediator, config) as server:
+            with pytest.raises(ValueError) as caught:
+                server.submit("q", execution=ExecutionPolicy(parallelism=8))
+            assert "parallelism" in str(caught.value)
+            # The rejection happened before admission.
+            assert server.counters["admitted"] == 0
+            # A compliant override is fine.
+            server.submit(
+                "ok", execution=ExecutionPolicy(parallelism=2)
+            ).result(5)
+
+    def test_override_unconstrained_without_server_policy(self):
+        mediator = BlockingMediator()
+        mediator.release.set()
+        with MediatorServer(mediator, ServerConfig(workers=1)) as server:
+            wide = ExecutionPolicy(parallelism=8)
+            server.submit("q", execution=wide).result(5)
+        assert mediator.executions[0] is wide
+
+    def test_serial_override_matches_default_answers(self, cultural_sources):
+        reference = build_mediator(*cultural_sources)
+        expected = tree_to_xml(reference.query(Q1).document())
+        mediator = _server_mediator(cultural_sources)
+        config = ServerConfig(
+            workers=2, execution=ExecutionPolicy(parallelism=2)
+        )
+        with MediatorServer(mediator, config) as server:
+            vectorized = server.submit(Q1)
+            serial = server.submit(Q1, execution=ExecutionPolicy.serial())
+            assert tree_to_xml(vectorized.result(30).document()) == expected
+            assert tree_to_xml(serial.result(30).document()) == expected
 
 
 # ---------------------------------------------------------------------------
