@@ -610,6 +610,50 @@ def report_twig():
         print(f"  {name}: {'PASS' if passed else 'FAIL'}")
 
 
+def report_store():
+    banner("D1 — out-of-core store: SQL interval pushdown vs full materialization")
+    try:
+        from benchmarks.bench_store import speedup_rows
+    except ImportError:
+        from bench_store import speedup_rows
+
+    # The acceptance bar lives at n=400; like the twig gate it is a
+    # ratio of two timings on one machine, so it is measured even in
+    # smoke mode.
+    sizes = tuple(sorted(set(SIZES) | {400}))
+    repeats = 5 if QUICK else 10
+    print(f"{'n':>5} {'materialize ms':>15} {'pushdown ms':>12} "
+          f"{'speedup':>9} {'hydrated':>9}")
+    speedup_400 = None
+    fraction_400 = None
+    for n, materialize_s, pushdown_s, speedup, fraction in speedup_rows(
+        sizes=sizes, repeats=repeats
+    ):
+        emit(
+            "store_pushdown",
+            {"n": n},
+            materialize_s=materialize_s,
+            pushdown_s=pushdown_s,
+            speedup=speedup,
+            hydrated_fraction=fraction,
+        )
+        print(f"{n:5d} {materialize_s * 1e3:15.3f} {pushdown_s * 1e3:12.3f} "
+              f"{speedup:8.1f}x {fraction:8.1%}")
+        if n == 400:
+            speedup_400 = speedup
+            fraction_400 = fraction
+
+    acceptance = {
+        "store_pushdown_ok": bool(speedup_400 is not None
+                                  and speedup_400 >= 3.0),
+        "store_hydration_ok": bool(fraction_400 is not None
+                                   and fraction_400 < 0.2),
+    }
+    emit("store_acceptance", {}, **acceptance)
+    for name, passed in acceptance.items():
+        print(f"  {name}: {'PASS' if passed else 'FAIL'}")
+
+
 def report_serving():
     banner("S1 — concurrent serving: capacity, overload shedding, goodput")
     try:
@@ -667,6 +711,7 @@ def main():
     report_plan_cache()
     report_bind_index()
     report_twig()
+    report_store()
     report_serving()
     out_path = Path(__file__).resolve().parent.parent / "BENCH_report.json"
     out_path.write_text(json.dumps(REPORT, indent=2) + "\n")

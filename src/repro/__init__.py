@@ -40,7 +40,8 @@ from repro.observability import (
     record_execution,
 )
 from repro.server import MediatorServer, ServerConfig
-from repro.wrappers import O2Wrapper, SqlWrapper, WaisWrapper
+from repro.sources.stored import StoredXmlSource
+from repro.wrappers import O2Wrapper, SqlWrapper, StoreWrapper, WaisWrapper
 from repro.yatl import parse_program, parse_query
 
 __version__ = "1.0.0"
@@ -62,6 +63,8 @@ __all__ = [
     "RetryPolicy",
     "ServerConfig",
     "SqlWrapper",
+    "StoreWrapper",
+    "StoredXmlSource",
     "Tracer",
     "WaisWrapper",
     "evaluate",

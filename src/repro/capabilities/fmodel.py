@@ -19,9 +19,19 @@ An :class:`FPat` is a type-pattern node annotated with two flags:
     concrete label / constant), ``none`` (left unchanged: the filter must
     keep the wildcard or the star as-is).
 
+``descend``
+    whether a filter may reach this node through the descendant axis
+    (``**`` / generalized path expressions) — ``none`` (a descent step is
+    rejected, the flag every in-memory source keeps) or ``any`` (a
+    ``FDescend`` wrapping a filter acceptable here is itself acceptable).
+    Sources whose storage encodes subtree intervals (the sqlite document
+    store) advertise ``descend="any"``: a descent is one range predicate
+    for them, not a recursive walk.
+
 :class:`FModel` groups named Fpatterns (``Fclass``, ``Ftype``...), and
-the module provides the two Fmodels of the paper: :func:`o2_fmodel`
-(Figure 6) and :func:`wais_fmodel` (Section 4.2).
+the module provides the two Fmodels of the paper — :func:`o2_fmodel`
+(Figure 6) and :func:`wais_fmodel` (Section 4.2) — plus
+:func:`store_fmodel` for the out-of-core document store.
 """
 
 from __future__ import annotations
@@ -36,6 +46,9 @@ BIND_FLAGS = ("any", "tree", "label", "none")
 
 #: Allowed values of the ``inst`` flag.
 INST_FLAGS = ("any", "ground", "none")
+
+#: Allowed values of the ``descend`` flag.
+DESCEND_FLAGS = ("none", "any")
 
 #: Node kinds of an Fpattern.
 FPAT_KINDS = ("node", "leaf", "star", "union", "ref", "any")
@@ -57,7 +70,8 @@ class FPat:
     * ``any`` — no structural constraint.
     """
 
-    __slots__ = ("kind", "label", "children", "bind", "inst", "ref", "collection")
+    __slots__ = ("kind", "label", "children", "bind", "inst", "ref",
+                 "collection", "descend")
 
     def __init__(
         self,
@@ -68,6 +82,7 @@ class FPat:
         inst: str = "any",
         ref: Optional[Tuple[str, str]] = None,
         collection: Optional[str] = None,
+        descend: str = "none",
     ) -> None:
         if kind not in FPAT_KINDS:
             raise CapabilityError(f"unknown Fpattern kind: {kind!r}")
@@ -75,6 +90,8 @@ class FPat:
             raise CapabilityError(f"unknown bind flag: {bind!r}")
         if inst not in INST_FLAGS:
             raise CapabilityError(f"unknown inst flag: {inst!r}")
+        if descend not in DESCEND_FLAGS:
+            raise CapabilityError(f"unknown descend flag: {descend!r}")
         if kind == "star" and len(children) != 1:
             raise CapabilityError("a star Fpattern requires exactly one child")
         if kind == "union" and not children:
@@ -88,6 +105,7 @@ class FPat:
         self.inst = inst
         self.ref = ref
         self.collection = collection
+        self.descend = descend
 
     def walk(self) -> Iterator["FPat"]:
         yield self
@@ -102,6 +120,7 @@ class FPat:
             self.inst,
             self.ref,
             self.collection,
+            self.descend,
             tuple(c._key() for c in self.children),
         )
 
@@ -119,6 +138,8 @@ class FPat:
             flags.append(f"bind={self.bind}")
         if self.inst != "any":
             flags.append(f"inst={self.inst}")
+        if self.descend != "none":
+            flags.append(f"descend={self.descend}")
         extra = (" " + " ".join(flags)) if flags else ""
         if self.kind == "ref":
             return f"FPat(ref {self.ref[0]}:{self.ref[1]}{extra})"
@@ -165,15 +186,18 @@ def fnode(
     bind: str = "any",
     inst: str = "any",
     collection: Optional[str] = None,
+    descend: str = "none",
 ) -> FPat:
     """An element Fpattern."""
     return FPat("node", label=label, children=children, bind=bind, inst=inst,
-                collection=collection)
+                collection=collection, descend=descend)
 
 
-def fleaf(type_name: str, bind: str = "any", inst: str = "any") -> FPat:
+def fleaf(
+    type_name: str, bind: str = "any", inst: str = "any", descend: str = "none"
+) -> FPat:
     """An atomic-type Fpattern (``Int``, ``String``...)."""
-    return FPat("leaf", label=type_name, bind=bind, inst=inst)
+    return FPat("leaf", label=type_name, bind=bind, inst=inst, descend=descend)
 
 
 def fstar(child: FPat, inst: str = "any") -> FPat:
@@ -186,9 +210,16 @@ def funion(*alternatives: FPat) -> FPat:
     return FPat("union", children=alternatives)
 
 
-def fref(model: str, pattern: str, bind: str = "any", inst: str = "any") -> FPat:
+def fref(
+    model: str,
+    pattern: str,
+    bind: str = "any",
+    inst: str = "any",
+    descend: str = "none",
+) -> FPat:
     """A reference to a named pattern in another model."""
-    return FPat("ref", ref=(model, pattern), bind=bind, inst=inst)
+    return FPat("ref", ref=(model, pattern), bind=bind, inst=inst,
+                descend=descend)
 
 
 def fany(bind: str = "any") -> FPat:
@@ -261,6 +292,41 @@ def wais_fmodel(structure_model: str = "Artworks_Structure") -> FModel:
             fstar(fref(structure_model, "work", bind="tree"), inst="none"),
             bind="none",
             inst="ground",
+        ),
+    )
+    return model
+
+
+def store_fmodel() -> FModel:
+    """The Fmodel of the sqlite document store (``repro.store``).
+
+    The pre/post interval encoding makes the store qualitatively more
+    capable than the in-memory sources: any literal-labeled element can
+    anchor a filter at any depth, subtrees and leaf contents bind
+    freely, and — the genuinely new part — the descendant axis is
+    acceptable *everywhere* (``descend="any"``), because a ``**`` step
+    is a single ``s.pre < t.pre AND t.post <= s.post`` range predicate
+    for the store, not a recursive walk.  Only label variables and
+    regexes stay out: the store matches labels by equality.
+    """
+    model = FModel("storefmodel")
+    model.define(
+        "Felement",
+        fnode(
+            SYMBOL,
+            fstar(fref("storefmodel", "Fitem")),
+            bind="tree",
+            descend="any",
+        ),
+    )
+    model.define(
+        "Fitem",
+        funion(
+            fleaf("Int", descend="any"),
+            fleaf("Bool", descend="any"),
+            fleaf("Float", descend="any"),
+            fleaf("String", descend="any"),
+            fref("storefmodel", "Felement"),
         ),
     )
     return model

@@ -199,7 +199,12 @@ class CapabilityMatcher:
         """Overlay the ref node's non-default flags onto the resolved root."""
         bind = ref.bind if ref.bind != "any" else resolved.bind
         inst = ref.inst if ref.inst != "any" else resolved.inst
-        if bind == resolved.bind and inst == resolved.inst:
+        descend = ref.descend if ref.descend != "none" else resolved.descend
+        if (
+            bind == resolved.bind
+            and inst == resolved.inst
+            and descend == resolved.descend
+        ):
             return resolved
         return FPat(
             resolved.kind,
@@ -209,6 +214,7 @@ class CapabilityMatcher:
             inst=inst,
             ref=resolved.ref,
             collection=resolved.collection,
+            descend=descend,
         )
 
     def _check(self, flt: Filter, fpat: FPat, terminal: bool = False) -> Admissibility:
@@ -235,7 +241,7 @@ class CapabilityMatcher:
                 return _ok()
             return _no(f"constant {flt.value!r} does not fit a {fpat.kind} pattern")
         if isinstance(flt, FDescend):
-            if fpat.kind == "any":
+            if fpat.kind == "any" or fpat.descend == "any":
                 return self._check(flt.child, fpat, terminal)
             return _no("descendant navigation is not supported by this source")
         if isinstance(flt, FElem):

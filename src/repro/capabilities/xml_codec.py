@@ -75,6 +75,8 @@ def fpat_to_element(fpat: FPat) -> ET.Element:
         element.set("bind", fpat.bind)
     if fpat.inst != "any":
         element.set("inst", fpat.inst)
+    if fpat.descend != "none":
+        element.set("descend", fpat.descend)
     for child in fpat.children:
         element.append(fpat_to_element(child))
     return element
@@ -84,6 +86,7 @@ def element_to_fpat(element: ET.Element) -> FPat:
     """Parse one Fpattern node."""
     bind = element.get("bind", "any")
     inst = element.get("inst", "any")
+    descend = element.get("descend", "none")
     children = tuple(element_to_fpat(child) for child in element)
     tag = element.tag
     if tag in ("value", "ref"):
@@ -91,7 +94,8 @@ def element_to_fpat(element: ET.Element) -> FPat:
         if pattern is None:
             raise XmlFormatError(f"<{tag}> requires a pattern attribute")
         model = element.get("model", "")
-        return FPat("ref", ref=(model, pattern), bind=bind, inst=inst)
+        return FPat("ref", ref=(model, pattern), bind=bind, inst=inst,
+                    descend=descend)
     if tag == "node":
         label = element.get("label")
         if label is None:
@@ -103,20 +107,23 @@ def element_to_fpat(element: ET.Element) -> FPat:
             bind=bind,
             inst=inst,
             collection=element.get("col"),
+            descend=descend,
         )
     if tag == "leaf":
         label = element.get("label")
         if label is None:
             raise XmlFormatError("<leaf> requires a label attribute")
-        return FPat("leaf", label=label, bind=bind, inst=inst)
+        return FPat("leaf", label=label, bind=bind, inst=inst, descend=descend)
     if tag == "star":
         if len(children) != 1:
             raise XmlFormatError("<star> requires exactly one child")
-        return FPat("star", children=children, bind=bind, inst=inst)
+        return FPat("star", children=children, bind=bind, inst=inst,
+                    descend=descend)
     if tag == "union":
-        return FPat("union", children=children, bind=bind, inst=inst)
+        return FPat("union", children=children, bind=bind, inst=inst,
+                    descend=descend)
     if tag == "any":
-        return FPat("any", bind=bind, inst=inst)
+        return FPat("any", bind=bind, inst=inst, descend=descend)
     raise XmlFormatError(f"unknown Fpattern element <{tag}>")
 
 

@@ -359,9 +359,30 @@ def _eval_source(plan: SourceOp, env: Environment) -> Tab:
     env.stats.record_call(plan.source)
     env.stats.record_transfer(plan.source, rows=1, size=size)
     env.stats.record_operator("Source", 1)
+    _record_store_delta(adapter, env)
     if env.tracer is not None:
         env.tracer.annotate(source=plan.source, calls=1, bytes=size)
     return Tab((plan.document,), [Row((plan.document,), (root,))])
+
+
+def _record_store_delta(adapter, env: Environment) -> None:
+    """Fold a document-store adapter's counter delta into the stats.
+
+    Duck-typed: adapters over shredded stores expose ``pop_store_stats``
+    returning ``{pushdowns, scans, hydrated_nodes, bytes_avoided}`` since
+    the last pop; everything else records nothing.  Cache hits never get
+    here — a served-from-cache call touched no store.
+    """
+    pop = getattr(adapter, "pop_store_stats", None)
+    if pop is None:
+        return
+    delta = pop()
+    if delta:
+        env.stats.record_store(**delta)
+        if env.tracer is not None:
+            env.tracer.annotate(
+                **{f"store_{name}": value for name, value in delta.items()}
+            )
 
 
 def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
@@ -392,6 +413,7 @@ def _eval_pushed(plan: PushedOp, env: Environment, outer: Optional[Row]) -> Tab:
     env.stats.record_call(plan.source)
     env.stats.record_transfer(plan.source, rows=len(tab), size=size)
     env.stats.record_operator("Pushed", len(tab))
+    _record_store_delta(adapter, env)
     if env.tracer is not None:
         env.tracer.annotate(source=plan.source, calls=1, bytes=size, native=native)
     return tab

@@ -78,6 +78,14 @@ class ExecutionStats:
         #: columnar batches and the rows they carried.
         self.batch_operators: int = 0
         self.batch_rows: int = 0
+        #: Out-of-core document store: pushed Binds answered by SQL
+        #: interval self-joins vs. hydrated scans, nodes materialized
+        #: from shredded rows, and serialized bytes the pushdowns never
+        #: transferred (untouched node share of the stored documents).
+        self.store_pushdowns: int = 0
+        self.store_scans: int = 0
+        self.store_hydrated_nodes: int = 0
+        self.store_bytes_avoided: int = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -172,6 +180,20 @@ class ExecutionStats:
             self.batch_operators += 1
             self.batch_rows += rows
 
+    def record_store(
+        self,
+        pushdowns: int = 0,
+        scans: int = 0,
+        hydrated_nodes: int = 0,
+        bytes_avoided: int = 0,
+    ) -> None:
+        """Record a document-store counter delta (one wrapper call)."""
+        with self._lock:
+            self.store_pushdowns += pushdowns
+            self.store_scans += scans
+            self.store_hydrated_nodes += hydrated_nodes
+            self.store_bytes_avoided += bytes_avoided
+
     # -- totals ---------------------------------------------------------------
 
     @property
@@ -226,6 +248,10 @@ class ExecutionStats:
             "twig_fallbacks": self.twig_fallbacks,
             "batch_operators": self.batch_operators,
             "batch_rows": self.batch_rows,
+            "store_pushdowns": self.store_pushdowns,
+            "store_scans": self.store_scans,
+            "store_hydrated_nodes": self.store_hydrated_nodes,
+            "store_bytes_avoided": self.store_bytes_avoided,
         }
 
     def summary(self) -> str:
@@ -268,6 +294,13 @@ class ExecutionStats:
             lines.append(
                 f"vectorized: {self.batch_operators} batch operators, "
                 f"{self.batch_rows} batch rows"
+            )
+        if self.store_pushdowns or self.store_scans:
+            lines.append(
+                f"document store: {self.store_pushdowns} pushdowns, "
+                f"{self.store_scans} scans, "
+                f"{self.store_hydrated_nodes} nodes hydrated, "
+                f"{self.store_bytes_avoided} bytes avoided"
             )
         if self.total_failures or self.total_retries:
             lines.append(

@@ -15,6 +15,14 @@ else is a path to a YAT_L query file (``-`` reads stdin).  With
 ``--chrome-trace`` additionally writes the span trace for
 ``chrome://tracing`` / Perfetto, and ``--metrics`` writes (or prints,
 with ``-``) the Prometheus exposition of the run.
+
+``--store PATH`` additionally connects an out-of-core store-backed
+source (``python -m repro.explain --store portal.db stored.yat``): the
+Wais collection is shredded into a sqlite file at PATH (``:memory:``
+works too) and served as document ``stored_artworks`` by a
+:class:`~repro.wrappers.store_wrapper.StoreWrapper`, so constant-
+restricted descents show up as ``bind: store-pushdown`` with their SQL
+interval joins.  An existing store file is reused as-is (no re-shred).
 """
 
 from __future__ import annotations
@@ -37,13 +45,31 @@ NAMED_QUERIES = {"q1": Q1, "q2": Q2}
 
 
 def build_mediator(
-    n_artifacts: int, seed: int, plan_cache_size: int = 128
+    n_artifacts: int,
+    seed: int,
+    plan_cache_size: int = 128,
+    store_path: str = None,
 ) -> Mediator:
-    """The paper's running federation, sized for demonstration."""
+    """The paper's running federation, sized for demonstration.
+
+    With *store_path* the same Wais collection is also shredded into a
+    sqlite-backed :class:`~repro.sources.stored.StoredXmlSource` at that
+    path and connected as source ``store`` serving document
+    ``stored_artworks`` (reused untouched when the file already holds
+    documents).
+    """
     database, store = CulturalDataset(n_artifacts=n_artifacts, seed=seed).build()
     mediator = Mediator(plan_cache_size=plan_cache_size)
     mediator.connect(O2Wrapper("o2artifact", database))
     mediator.connect(WaisWrapper("xmlartwork", store))
+    if store_path is not None:
+        from repro.sources.stored import StoredXmlSource
+        from repro.wrappers.store_wrapper import StoreWrapper
+
+        stored = StoredXmlSource(store_path)
+        if not stored.document_names():
+            stored.add_tree("stored_artworks", store.collection_tree())
+        mediator.connect(StoreWrapper("store", stored))
     mediator.declare_containment("artworks", "artifacts")
     mediator.load_program(VIEW1_YAT)
     return mediator
@@ -99,6 +125,12 @@ def main(argv=None) -> int:
         help="with --analyze: write the Prometheus exposition (- for stdout)",
     )
     parser.add_argument(
+        "--store", metavar="PATH",
+        help="also connect a sqlite-shredded store source (document "
+        "stored_artworks) backed by the file at PATH (:memory: works); "
+        "an existing store file is reused without re-shredding",
+    )
+    parser.add_argument(
         "--no-plan-cache", action="store_true",
         help="disable the mediator's plan cache (every run plans from scratch)",
     )
@@ -119,6 +151,7 @@ def main(argv=None) -> int:
     mediator = build_mediator(
         args.n, args.seed,
         plan_cache_size=0 if args.no_plan_cache else 128,
+        store_path=args.store,
     )
     execution = (
         ExecutionPolicy.parallel(args.parallelism)

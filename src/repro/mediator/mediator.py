@@ -470,7 +470,7 @@ class Mediator:
         sargable and document indexes are enabled, ``bind: scan``
         otherwise.
         """
-        from repro.core.algebra.operators import BindOp
+        from repro.core.algebra.operators import BindOp, PushedOp
         from repro.core.algebra.twig import compiled_twig
         from repro.core.optimizer.cost import choose_bind_access
         from repro.observability.explain import Explanation
@@ -499,6 +499,22 @@ class Mediator:
                     if access is not None
                     else "bind: scan"
                 )
+        # Pushed fragments: the access path is the *wrapper's* choice
+        # (SQL interval pushdown vs. hydrated scan for store-backed
+        # sources).  walk() stops at PushedOp on purpose — the fragment
+        # is not rewritable — so descend explicitly for annotation only.
+        adapters = self.catalog.adapters()
+        for node in optimized.walk():
+            if not isinstance(node, PushedOp):
+                continue
+            chooser = getattr(adapters.get(node.source), "pushdown_access", None)
+            if chooser is None:
+                continue
+            for inner in node.plan.walk():
+                if isinstance(inner, BindOp):
+                    access_paths[id(inner)] = (
+                        f"bind: {chooser(inner.filter, inner.on)}"
+                    )
         report = None
         if analyze:
             if tracer is None:

@@ -126,7 +126,12 @@ def _plan_rows(
 ) -> None:
     pad = "  " * depth
     if native_at is not None:
-        out.append((f"{pad}{plan.describe()}", f"runs at {native_at}"))
+        annotation = f"runs at {native_at}"
+        if access_paths is not None:
+            access = access_paths.get(id(plan))
+            if access:
+                annotation = f"{annotation}, {access}"
+        out.append((f"{pad}{plan.describe()}", annotation))
         for child in plan.children():
             _plan_rows(child, depth + 1, actuals, out, native_at, access_paths)
         return

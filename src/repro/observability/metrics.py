@@ -464,6 +464,22 @@ def record_execution(
         "yat_batch_rows_total",
         "Rows carried by columnar batch operator evaluations.",
     ).inc(stats.batch_rows)
+    registry.counter(
+        "yat_store_pushdowns_total",
+        "Pushed Binds answered by SQL interval self-joins in a document store.",
+    ).inc(stats.store_pushdowns)
+    registry.counter(
+        "yat_store_scans_total",
+        "Pushed Binds that fell back to a hydrated document scan.",
+    ).inc(stats.store_scans)
+    registry.counter(
+        "yat_store_hydrated_nodes_total",
+        "Nodes materialized from shredded document-store rows.",
+    ).inc(stats.store_hydrated_nodes)
+    registry.counter(
+        "yat_store_bytes_avoided_total",
+        "Serialized bytes pushdowns never transferred (untouched node share).",
+    ).inc(stats.store_bytes_avoided)
 
     trace = getattr(report, "trace", None)
     if trace is not None:
@@ -592,9 +608,19 @@ def record_memo_stats(registry: MetricsRegistry, mediator) -> None:
     export("column_maps", column_map_stats())
     catalog = getattr(mediator, "catalog", None)
     adapters = catalog.adapters() if catalog is not None else {}
+    shredded = registry.gauge(
+        "yat_store_rows_shredded",
+        "Node rows written into a source's document store since process start.",
+        ("source",),
+    )
     for source, adapter in sorted(adapters.items()):
         memo_stats = getattr(adapter, "memo_stats", None)
         if memo_stats is None:
             continue
         for memo, stats in sorted(memo_stats().items()):
             export(f"{source}.{memo}", stats)
+        store_stats = getattr(adapter, "store_stats", None)
+        if store_stats is not None:
+            shredded.labels(source=source).set(
+                store_stats().get("rows_shredded", 0)
+            )

@@ -1,0 +1,5 @@
+"""The stored-XML source: documents living in a sqlite shred."""
+
+from repro.sources.stored.source import StoredXmlSource
+
+__all__ = ["StoredXmlSource"]

@@ -8,6 +8,7 @@ from its source and translates pushed algebra fragments to native queries
 from repro.wrappers.base import PushedFragment, Wrapper, analyze_fragment
 from repro.wrappers.o2_wrapper import O2Wrapper
 from repro.wrappers.sql_wrapper import SqlWrapper, sql_fmodel
+from repro.wrappers.store_wrapper import StoreWrapper
 from repro.wrappers.wais_wrapper import STRUCTURE_MODEL, WaisWrapper
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "PushedFragment",
     "STRUCTURE_MODEL",
     "SqlWrapper",
+    "StoreWrapper",
     "WaisWrapper",
     "Wrapper",
     "analyze_fragment",

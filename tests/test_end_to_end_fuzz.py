@@ -13,7 +13,14 @@ dispatch may change call counts and wall-clock, never the answer.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import ExecutionPolicy, Mediator, O2Wrapper, WaisWrapper
+from repro import (
+    ExecutionPolicy,
+    Mediator,
+    O2Wrapper,
+    StoredXmlSource,
+    StoreWrapper,
+    WaisWrapper,
+)
 from repro.datasets import CulturalDataset, Q1, Q2, VIEW1_YAT
 from repro.model.xml_io import tree_to_xml
 
@@ -202,6 +209,56 @@ class TestVectorizedTwigSoundness:
                 assert (
                     tree_to_xml(subject.query(text).document()) == reference
                 ), f"divergence on {text!r} under {execution!r}"
+
+
+class TestStoreSoundness:
+    """Out-of-core differential: shredded answers equal in-memory ones.
+
+    The oracle serves the Wais collection from memory under
+    ``ExecutionPolicy.serial()`` (the seed semantics).  The subject
+    serves the *same tree* shredded into a sqlite
+    :class:`~repro.sources.stored.StoredXmlSource` behind a
+    :class:`~repro.wrappers.store_wrapper.StoreWrapper`, swept over the
+    full vectorize × twig × pushdown grid — SQL interval joins, hydrated
+    scans, columnar batches and twig kernels must all serialize to the
+    identical bytes for every dataset shape.
+    """
+
+    STORE_QUERIES = (
+        'MAKE $t MATCH artworks WITH works . work [ title . $t, style . $s ]'
+        ' WHERE $s = "Impressionist"',
+        'MAKE $t MATCH artworks WITH works .. work [ title . $t, cplace . $cl ]'
+        ' WHERE $cl = "Giverny"',
+        'MAKE doc [ *$w ] MATCH artworks WITH works . work $w',
+    )
+
+    GRID = tuple(
+        ExecutionPolicy(vectorize=vectorize, twig_joins=twig)
+        for vectorize in (False, True)
+        for twig in (False, True)
+    )
+
+    @given(params=datasets)
+    @settings(max_examples=8, deadline=None)
+    def test_store_grid_matches_in_memory_oracle(self, params):
+        _database, store = CulturalDataset(**params).build()
+        oracle = Mediator(execution=ExecutionPolicy.serial())
+        oracle.connect(WaisWrapper("xmlartwork", store))
+        source = StoredXmlSource()
+        source.add_tree("artworks", store.collection_tree())
+        for text in self.STORE_QUERIES:
+            reference = tree_to_xml(oracle.query(text).document())
+            for pushdown in (True, False):
+                for execution in self.GRID:
+                    mediator = Mediator(execution=execution)
+                    mediator.connect(
+                        StoreWrapper("depot", source, enable_pushdown=pushdown)
+                    )
+                    subject = tree_to_xml(mediator.query(text).document())
+                    assert subject == reference, (
+                        f"store divergence on {text!r} "
+                        f"(pushdown={pushdown}, {execution!r})"
+                    )
 
 
 class TestCompileOnceSoundness:
