@@ -384,7 +384,7 @@ def report_equivalences():
 
 
 def report_resilience():
-    banner("R1 — resilience: policy overhead (happy path) + fault-injection tests")
+    banner("RES — resilience: policy overhead (happy path) + fault-injection tests")
     try:
         from benchmarks.bench_resilience_overhead import overhead_rows
     except ImportError:
@@ -553,6 +553,67 @@ def report_plan_cache():
               f"{speedup:8.1f}x {str(identical):>5}")
 
 
+def report_result_cache():
+    banner("R1 — result cache: warm hits, freshness, cached-serving goodput")
+    try:
+        from benchmarks.bench_result_cache import (
+            freshness_row, goodput_rows, warm_vs_fresh_rows,
+        )
+    except ImportError:
+        from bench_result_cache import (
+            freshness_row, goodput_rows, warm_vs_fresh_rows,
+        )
+
+    print(f"{'query':>6} {'fresh ms':>10} {'warm ms':>9} {'speedup':>9}")
+    warm_ok = True
+    for name, fresh_s, warm_s, speedup, row_ok in warm_vs_fresh_rows(
+        repeats=5 if QUICK else 20
+    ):
+        warm_ok = warm_ok and row_ok
+        emit(
+            "result_cache_warm",
+            {"query": name},
+            fresh_s=fresh_s,
+            warm_s=warm_s,
+            speedup=speedup,
+        )
+        print(f"{name:>6} {fresh_s * 1e3:10.3f} {warm_s * 1e3:9.3f} "
+              f"{speedup:8.1f}x {'PASS' if row_ok else 'FAIL'}")
+
+    stale_served, answers_differ, fresh_ok = freshness_row()
+    print(f"freshness: stale_served={stale_served} "
+          f"answers_differ={answers_differ} "
+          f"{'PASS' if fresh_ok else 'FAIL'}")
+
+    rows, speedup = goodput_rows(requests=40 if QUICK else 120)
+    for label, row in rows:
+        emit(
+            "result_cache_serving",
+            {"mode": label},
+            offered=row.offered,
+            completed=row.completed,
+            qps=row.qps,
+            p50_ms=row.p50 * 1e3,
+            p99_ms=row.p99 * 1e3,
+        )
+        print(f"{label:>10}: {row.completed}/{row.offered} done, "
+              f"{row.qps:.1f} qps")
+    goodput_ok = speedup > 1.0
+    print(f"goodput speedup (cache-on / cache-off): {speedup:.2f}x "
+          f"{'PASS' if goodput_ok else 'FAIL'}")
+    emit(
+        "result_cache_acceptance",
+        {},
+        result_cache_warm_ok=warm_ok,
+        result_cache_freshness_ok=fresh_ok,
+        result_cache_goodput_ok=goodput_ok,
+        goodput_speedup=speedup,
+    )
+    # Failed gates surface in the JSON (check_regressions.py fails on
+    # any *_ok: false) rather than aborting here, so the report file
+    # always reflects this run.
+
+
 def report_twig():
     banner("V1 — columnar batches + holistic twig joins vs recursive matching")
     try:
@@ -709,6 +770,7 @@ def main():
     report_parallel()
     report_observability()
     report_plan_cache()
+    report_result_cache()
     report_bind_index()
     report_twig()
     report_store()

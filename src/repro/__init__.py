@@ -30,6 +30,7 @@ from repro.mediator import (
     Mediator,
     QueryResult,
     ResiliencePolicy,
+    ResultCache,
     RetryPolicy,
 )
 from repro.observability import (
@@ -60,6 +61,7 @@ __all__ = [
     "QuotaExceededError",
     "RequestContext",
     "ResiliencePolicy",
+    "ResultCache",
     "RetryPolicy",
     "ServerConfig",
     "SqlWrapper",

@@ -49,6 +49,7 @@ def build_mediator(
     seed: int,
     plan_cache_size: int = 128,
     store_path: str = None,
+    result_cache_bytes: int = 32 << 20,
 ) -> Mediator:
     """The paper's running federation, sized for demonstration.
 
@@ -59,7 +60,10 @@ def build_mediator(
     documents).
     """
     database, store = CulturalDataset(n_artifacts=n_artifacts, seed=seed).build()
-    mediator = Mediator(plan_cache_size=plan_cache_size)
+    mediator = Mediator(
+        plan_cache_size=plan_cache_size,
+        result_cache_bytes=result_cache_bytes,
+    )
     mediator.connect(O2Wrapper("o2artifact", database))
     mediator.connect(WaisWrapper("xmlartwork", store))
     if store_path is not None:
@@ -135,6 +139,12 @@ def main(argv=None) -> int:
         help="disable the mediator's plan cache (every run plans from scratch)",
     )
     parser.add_argument(
+        "--no-result-cache", action="store_true",
+        help="disable the mediator's result cache (every --analyze run "
+        "re-executes; without this flag a repeated --analyze shows "
+        "'result: cached' and skips execution)",
+    )
+    parser.add_argument(
         "--repeat", type=int, default=1, metavar="K",
         help="explain the query K times against one mediator and print the "
         "last explanation; from the second run on a 'plan: cached' line "
@@ -152,6 +162,7 @@ def main(argv=None) -> int:
         args.n, args.seed,
         plan_cache_size=0 if args.no_plan_cache else 128,
         store_path=args.store,
+        result_cache_bytes=0 if args.no_result_cache else 32 << 20,
     )
     execution = (
         ExecutionPolicy.parallel(args.parallelism)

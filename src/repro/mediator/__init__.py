@@ -10,18 +10,26 @@ from repro.mediator.resilience import (
     RetryPolicy,
     SourceOutcome,
 )
-from repro.mediator.views import VIEW_SOURCE, ViewRegistry
+from repro.mediator.result_cache import CachedResult, ResultCache
+from repro.mediator.views import (
+    VIEW_SOURCE,
+    MaterializedViewSource,
+    ViewRegistry,
+)
 from repro.observability.explain import Explanation
 
 __all__ = [
     "Explanation",
+    "CachedResult",
     "Catalog",
     "CircuitBreaker",
     "ExecutionPolicy",
     "ExecutionReport",
+    "MaterializedViewSource",
     "Mediator",
     "QueryResult",
     "ResiliencePolicy",
+    "ResultCache",
     "RetryPolicy",
     "SourceOutcome",
     "VIEW_SOURCE",

@@ -22,10 +22,11 @@ from __future__ import annotations
 import threading
 from typing import Optional, Sequence, Tuple
 
-from repro.errors import UnknownDocumentError
+from repro.errors import UnknownDocumentError, ViewError
 from repro.capabilities.interface import SourceInterface
 from repro.core.algebra.operators import Plan
 from repro.core.algebra.scheduling import ExecutionPolicy
+from repro.core.algebra.stats import ExecutionStats
 from repro.core.algebra.tab import Tab
 from repro.core.optimizer.bind_split import ref_is
 from repro.core.optimizer.planner import Optimizer
@@ -35,7 +36,12 @@ from repro.mediator.catalog import Catalog
 from repro.mediator.execution import ExecutionReport, run_plan
 from repro.mediator.plan_cache import CachedPlan, PlanCache, rebind_plan
 from repro.mediator.resilience import ResiliencePolicy
-from repro.mediator.views import VIEW_SOURCE, ViewRegistry
+from repro.mediator.result_cache import ResultCache
+from repro.mediator.views import (
+    VIEW_SOURCE,
+    MaterializedViewSource,
+    ViewRegistry,
+)
 from repro.model.indexes import invalidate_document_indexes
 from repro.model.trees import DataNode
 from repro.sources.wais.index import document_contains
@@ -44,6 +50,27 @@ from repro.yatl.ast import YatlQuery
 from repro.yatl.normalize import NormalizedQuery, normalize_query
 from repro.yatl.parser import parse_program, parse_query
 from repro.yatl.translator import translate_query, translate_rule
+
+#: Execution-policy knobs whose values join the result-cache key.  All of
+#: them are answer-preserving by the soundness invariants, but keying on
+#: them keeps the cache conservative: a knob change can never serve an
+#: answer computed under different execution semantics.  Pure scheduling
+#: knobs (``parallelism``, ``cache_source_calls``) are deliberately
+#: excluded — they cannot change a byte.
+_DEFAULT_EXECUTION = ExecutionPolicy()
+
+#: Per-thread set of materialized views currently refreshing: a view
+#: whose refresh transitively reads itself fails fast instead of
+#: recursing (or deadlocking on its own single-flight lock).
+_REFRESHING = threading.local()
+
+
+def _adapter_version(adapter) -> int:
+    """A source's ``data_version()``, 0 for version-less adapters."""
+    version = getattr(adapter, "data_version", None)
+    if callable(version):
+        return version()
+    return 0
 
 
 def _mediator_contains(document: object, text: object) -> bool:
@@ -74,7 +101,10 @@ def _field_contains(field: str):
 class QueryResult:
     """Everything :meth:`Mediator.query` learned about one query."""
 
-    __slots__ = ("naive_plan", "plan", "trace", "report", "cached", "admission")
+    __slots__ = (
+        "naive_plan", "plan", "trace", "report", "cached", "result_cached",
+        "admission",
+    )
 
     def __init__(
         self,
@@ -83,6 +113,7 @@ class QueryResult:
         trace: RewriteTrace,
         report: ExecutionReport,
         cached: bool = False,
+        result_cached: bool = False,
     ) -> None:
         self.naive_plan = naive_plan
         self.plan = plan
@@ -91,6 +122,9 @@ class QueryResult:
         #: True when the plan came from the plan cache (possibly after
         #: constant rebinding) instead of a fresh planning pass.
         self.cached = cached
+        #: True when the *answer* came from the result cache — nothing
+        #: was executed and the report carries empty statistics.
+        self.result_cached = result_cached
         #: :class:`~repro.server.AdmissionOutcome` when this result came
         #: through a :class:`~repro.server.MediatorServer` (queueing time,
         #: forced degradation, deadline); ``None`` for direct calls —
@@ -131,6 +165,7 @@ class Mediator:
         policy: Optional[ResiliencePolicy] = None,
         execution: Optional[ExecutionPolicy] = None,
         plan_cache_size: int = 128,
+        result_cache_bytes: int = 0,
     ) -> None:
         self.name = name
         self.catalog = Catalog()
@@ -143,6 +178,19 @@ class Mediator:
         self.plan_cache: Optional[PlanCache] = (
             PlanCache(capacity=plan_cache_size) if plan_cache_size > 0 else None
         )
+        #: Byte-bounded answer cache with per-source version-vector
+        #: invalidation, or ``None`` (the default) — every query then
+        #: executes, exactly the pre-cache behavior.  Opt in with
+        #: ``result_cache_bytes=32 << 20`` for serving workloads.
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(max_bytes=result_cache_bytes)
+            if result_cache_bytes > 0
+            else None
+        )
+        #: Evaluator adapter that serves materialized view documents
+        #: under the ``mediator`` pseudo-source (joined into the adapter
+        #: map only while at least one view is materialized).
+        self._view_source = MaterializedViewSource(self)
         #: Bumped whenever the catalog changes shape (connect, views,
         #: containments); part of every cache key, so stale plans are
         #: unreachable even before the explicit invalidate() frees them.
@@ -221,6 +269,17 @@ class Mediator:
         self._containments.add((subset_document, superset_document))
         self._invalidate_plans()
 
+    def materialize_view(self, name: str) -> None:
+        """Declare view *name* materialized.
+
+        Its plan will execute once on first use; later queries MATCHing
+        the view Bind against the kept document instead of re-splicing
+        (and re-executing) the view plan, and the document refreshes
+        lazily whenever a base source's ``data_version()`` moves.
+        """
+        self.views.materialize(name)
+        self._invalidate_plans()
+
     def _invalidate_plans(self) -> None:
         """Catalog changed: cached plans and probe answers are suspect."""
         with self._plan_lock:
@@ -228,6 +287,12 @@ class Mediator:
             self._probe_cache.clear()
         if self.plan_cache is not None:
             self.plan_cache.invalidate()
+        if self.result_cache is not None:
+            self.result_cache.invalidate()
+        # Materialized documents were built against the old catalog (a
+        # reloaded program may have added rules to the view); drop them
+        # and let the next query refresh.
+        self.views.reset_materialized()
         # Document trees may be re-exported after a catalog change; the
         # lazily built label/value indexes over them follow the epoch.
         invalidate_document_indexes()
@@ -287,20 +352,32 @@ class Mediator:
 
     def _plan_text(
         self, text: str, optimize: bool, rounds: Sequence[int]
-    ) -> Tuple[Plan, Plan, RewriteTrace, bool]:
-        """Plan query *text* through the cache; also memoizes the parse."""
+    ) -> Tuple[Plan, Plan, RewriteTrace, bool, Optional[NormalizedQuery]]:
+        """Plan query *text* through the cache; also memoizes the parse.
+
+        The trailing element is the query's normalized form — the result
+        cache keys on it; ``None`` only when both caches are off (the
+        normalization pass is then pure overhead).
+        """
         rounds = tuple(rounds)
         cache = self.plan_cache
         if cache is None:
-            naive, optimized, trace = self._plan_fresh(
-                parse_query(text), optimize, rounds
+            query = parse_query(text)
+            normalized = (
+                normalize_query(query)
+                if self.result_cache is not None
+                else None
             )
-            return naive, optimized, trace, False
+            naive, optimized, trace = self._plan_fresh(query, optimize, rounds)
+            return naive, optimized, trace, False, normalized
         normalized = cache.normalized(text)
         if normalized is None:
             normalized = normalize_query(parse_query(text))
             cache.remember_text(text, normalized)
-        return self._plan_normalized(normalized, optimize, rounds)
+        naive, optimized, trace, cached = self._plan_normalized(
+            normalized, optimize, rounds
+        )
+        return naive, optimized, trace, cached, normalized
 
     def _plan_normalized(
         self,
@@ -413,6 +490,161 @@ class Mediator:
                     )
         return estimates
 
+    # -- result caching ----------------------------------------------------------
+
+    def _result_key(
+        self,
+        normalized: NormalizedQuery,
+        optimize: bool,
+        rounds: tuple,
+        execution: Optional[ExecutionPolicy],
+    ) -> tuple:
+        """The result-cache key: everything that could change the bytes.
+
+        Query shape and constants, the planning knobs (an unoptimized
+        answer is ordered differently from an optimized one is a
+        non-goal — they are byte-identical by the soundness invariant,
+        but keying on them costs nothing), the catalog epoch and
+        statistics version, and the answer-relevant execution knobs.
+        """
+        effective = execution if execution is not None else self.execution
+        if effective is None:
+            effective = _DEFAULT_EXECUTION
+        return (
+            normalized.key,
+            normalized.values,
+            optimize,
+            rounds,
+            self.gate_information_passing,
+            self._epoch,
+            self._stats_version,
+            (
+                effective.compile_kernels,
+                effective.use_document_indexes,
+                effective.vectorize,
+                effective.twig_joins,
+                effective.batch_djoin,
+            ),
+        )
+
+    def _version_vector(self, plan: Plan) -> tuple:
+        """``((source, data_version), ...)`` for every source *plan* reads.
+
+        Materialized-view leaves expand to the base sources the view
+        transitively reads, so an update to any of them invalidates the
+        cached answers of queries served through the view.
+        """
+        adapters = self.catalog.adapters()
+        names: set = set()
+        for node in plan.walk():
+            source = getattr(node, "source", None)
+            if source is None:
+                continue
+            if source == VIEW_SOURCE:
+                names |= self.views.base_sources(node.document)
+            else:
+                names.add(source)
+        return tuple(
+            (name, _adapter_version(adapters.get(name)))
+            for name in sorted(names)
+        )
+
+    def _execute_maybe_cached(
+        self,
+        optimized: Plan,
+        normalized: Optional[NormalizedQuery],
+        optimize: bool,
+        rounds: tuple,
+        policy: Optional[ResiliencePolicy],
+        execution: Optional[ExecutionPolicy],
+        tracer,
+        context,
+        use_result_cache: bool = True,
+    ) -> Tuple[ExecutionReport, bool]:
+        """Serve *optimized* from the result cache or execute and store.
+
+        Returns ``(report, served_from_cache)``.  The version vector is
+        captured **before** execution: a source update racing the
+        execution tags the entry with the pre-update version, so the
+        next lookup sees a mismatch and recomputes — a stale answer can
+        never be served as fresh.  Concurrent misses on one key are
+        single-flight: one caller executes, the rest wait and re-check.
+        """
+        cache = self.result_cache
+        if cache is None or not use_result_cache or normalized is None:
+            report = self.execute(
+                optimized, policy=policy, execution=execution, tracer=tracer,
+                context=context,
+            )
+            return report, False
+        key = self._result_key(normalized, optimize, rounds, execution)
+        while True:
+            versions = self._version_vector(optimized)
+            tab = cache.lookup(key, versions)
+            if tab is not None:
+                return ExecutionReport(optimized, tab, ExecutionStats(), 0.0), True
+            leader, event = cache.begin(key)
+            if leader:
+                break
+            # Another session is already executing this exact query:
+            # wait for it, then re-check (the timeout only bounds the
+            # wait if that session dies without reaching finish()).
+            event.wait(timeout=5.0)
+        try:
+            report = self.execute(
+                optimized, policy=policy, execution=execution, tracer=tracer,
+                context=context,
+            )
+            if not report.degraded:
+                # Degraded (partial) answers must never serve later
+                # queries — a hit could not tell them from the full one.
+                cache.store(key, report.tab, versions)
+        finally:
+            cache.finish(key)
+        return report, False
+
+    def materialized_document(self, name: str) -> DataNode:
+        """The kept document of materialized view *name*, refreshed if stale.
+
+        Single-flight per view; the base-source version vector is
+        captured before the refresh executes (stale-tag safe, exactly as
+        for the result cache).  The refresh runs fail-fast — a partial
+        view document must never be kept.
+        """
+        entry = self.views.materialized_entry(name)
+        refreshing = getattr(_REFRESHING, "names", None)
+        if refreshing is None:
+            refreshing = _REFRESHING.names = set()
+        if name in refreshing:
+            raise ViewError(
+                f"materialized view {name!r} transitively reads itself"
+            )
+        with entry.lock:
+            current = self._view_versions(name)
+            if entry.document is None or entry.versions != current:
+                refreshing.add(name)
+                try:
+                    report = self.execute(
+                        self.views.refresh_plan(name),
+                        policy=ResiliencePolicy.direct(),
+                    )
+                    document = report.document()
+                finally:
+                    refreshing.discard(name)
+                entry.document = document
+                entry.versions = current
+                entry.refreshes += 1
+            entry.serves += 1
+            return entry.document
+
+    def _view_versions(self, name: str) -> tuple:
+        """Live version vector of the base sources view *name* reads."""
+        adapters = self.catalog.adapters()
+        return tuple(
+            (source, _adapter_version(adapters.get(source)))
+            for source in sorted(self.views.base_sources(name))
+        )
+
     # -- querying --------------------------------------------------------------------
 
     def query(
@@ -424,6 +656,7 @@ class Mediator:
         execution: Optional[ExecutionPolicy] = None,
         tracer=None,
         context=None,
+        use_result_cache: bool = True,
     ) -> QueryResult:
         """Parse, plan, optimize and evaluate a YAT_L query.
 
@@ -431,15 +664,26 @@ class Mediator:
         carries the requesting session's identity, deadline, tracer and
         per-request caches through the execution; the serving layer
         passes one per admitted request.
+
+        With a result cache configured (``result_cache_bytes > 0`` at
+        construction) a repeated query whose sources did not change is
+        answered from the cache without executing anything —
+        ``result.result_cached`` says so, and the report then carries
+        empty statistics.  ``use_result_cache=False`` bypasses the cache
+        for one call (the answer is neither looked up nor stored).
         """
-        naive, optimized, trace, cached = self._plan_text(
+        naive, optimized, trace, cached, normalized = self._plan_text(
             text, optimize, rounds
         )
-        report = self.execute(
-            optimized, policy=policy, execution=execution, tracer=tracer,
-            context=context,
+        report, result_cached = self._execute_maybe_cached(
+            optimized, normalized, optimize, tuple(rounds),
+            policy=policy, execution=execution, tracer=tracer,
+            context=context, use_result_cache=use_result_cache,
         )
-        return QueryResult(naive, optimized, trace, report, cached=cached)
+        return QueryResult(
+            naive, optimized, trace, report,
+            cached=cached, result_cached=result_cached,
+        )
 
     def explain(
         self,
@@ -470,13 +714,13 @@ class Mediator:
         sargable and document indexes are enabled, ``bind: scan``
         otherwise.
         """
-        from repro.core.algebra.operators import BindOp, PushedOp
+        from repro.core.algebra.operators import BindOp, PushedOp, SourceOp
         from repro.core.algebra.twig import compiled_twig
         from repro.core.optimizer.cost import choose_bind_access
         from repro.observability.explain import Explanation
         from repro.observability.tracer import Tracer
 
-        naive, optimized, trace, cached = self._plan_text(
+        naive, optimized, trace, cached, normalized = self._plan_text(
             text, optimize, rounds
         )
         effective = execution if execution is not None else self.execution
@@ -515,19 +759,37 @@ class Mediator:
                     access_paths[id(inner)] = (
                         f"bind: {chooser(inner.filter, inner.on)}"
                     )
+        materialized_views = tuple(sorted({
+            node.document
+            for node in optimized.walk()
+            if isinstance(node, SourceOp) and node.source == VIEW_SOURCE
+        }))
         report = None
+        result_cached = False
         if analyze:
             if tracer is None:
                 tracer = Tracer()
-            report = self.execute(
-                optimized, policy=policy, execution=execution, tracer=tracer
+            report, result_cached = self._execute_maybe_cached(
+                optimized, normalized, optimize, tuple(rounds),
+                policy=policy, execution=execution, tracer=tracer,
+                context=None,
             )
             self._absorb_actuals(optimized, tracer)
-        elif tracer is not None:
-            tracer = None  # a plan-only EXPLAIN never executes anything
+        else:
+            if tracer is not None:
+                tracer = None  # a plan-only EXPLAIN never executes anything
+            if self.result_cache is not None and normalized is not None:
+                # Non-mutating peek: would this query serve from cache?
+                result_cached = self.result_cache.peek(
+                    self._result_key(
+                        normalized, optimize, tuple(rounds), execution
+                    ),
+                    self._version_vector(optimized),
+                )
         return Explanation(
             text, naive, optimized, trace, report=report, tracer=tracer,
             cached=cached, access_paths=access_paths,
+            result_cached=result_cached, materialized_views=materialized_views,
         )
 
     def _absorb_actuals(self, plan: Plan, tracer) -> None:
@@ -546,6 +808,10 @@ class Mediator:
         if changed and self.gate_information_passing:
             if self.plan_cache is not None:
                 self.plan_cache.invalidate()
+            if self.result_cache is not None:
+                # Keys embed the statistics version, so the old entries
+                # are already unreachable; dropping them frees the bytes.
+                self.result_cache.invalidate()
 
     def execute(
         self,
@@ -564,9 +830,15 @@ class Mediator:
         hierarchical spans of the execution (see
         :mod:`repro.observability`).
         """
+        adapters = self.catalog.adapters()
+        if self.views.has_materialized():
+            # Materialized view documents are served (and lazily
+            # refreshed) by the mediator itself under the "mediator"
+            # pseudo-source the composed plans reference.
+            adapters[VIEW_SOURCE] = self._view_source
         return run_plan(
             plan,
-            self.catalog.adapters(),
+            adapters,
             functions=self.functions,
             policy=policy if policy is not None else self.policy,
             execution=execution if execution is not None else self.execution,

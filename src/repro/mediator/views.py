@@ -1,4 +1,4 @@
-"""View registration and composition.
+"""View registration, composition and materialization.
 
 An integration program (``view1.yat``) defines named views as YAT_L
 rules; user queries may then MATCH a view name exactly as they would a
@@ -6,19 +6,52 @@ source document.  Composition is *syntactic*: the ``Source`` leaf that
 reads the view is replaced by the view's own plan, producing the naive
 "materialize then query" expression on the left of Figure 8 — which
 round one of the optimizer then collapses.
+
+A view may additionally be declared **materialized**
+(:meth:`ViewRegistry.materialize`): its plan is executed once, the
+constructed document kept, and every later query MATCHing it is served
+through the ordinary Bind–Source path against the kept document instead
+of re-splicing (and re-executing) the view plan.  The kept document is
+tagged with the ``data_version()`` vector of the base sources the view
+reads, captured before the refresh executed; a query that finds the
+live vector elsewhere triggers a lazy refresh, so a source update is
+visible on the very next query and an unchanged federation never pays
+the view again.  :class:`MaterializedViewSource` is the evaluator-facing
+adapter that serves those documents under the ``mediator`` pseudo-source
+name.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
-from typing import List
+import threading
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ViewError
+from repro.core.algebra.evaluator import SourceAdapter
 from repro.core.algebra.operators import FuseOp, Plan, SourceOp
 
 #: The pseudo-source name used for documents that are mediator views.
 VIEW_SOURCE = "mediator"
+
+
+class MaterializedView:
+    """Cached state of one materialized view (filled in lazily)."""
+
+    __slots__ = ("name", "document", "versions", "refreshes", "serves", "lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: The constructed view document, or ``None`` before first use.
+        self.document = None
+        #: ``((source, data_version), ...)`` the document was built from,
+        #: captured *before* the refresh executed (stale-tag safe: an
+        #: update racing the refresh makes the document look stale, never
+        #: lets a stale document serve as fresh).
+        self.versions: Optional[tuple] = None
+        self.refreshes = 0
+        self.serves = 0
+        #: Single-flight per view: concurrent stale reads refresh once.
+        self.lock = threading.Lock()
 
 
 class ViewRegistry:
@@ -31,6 +64,11 @@ class ViewRegistry:
 
     def __init__(self) -> None:
         self._rules: Dict[str, List[Plan]] = {}
+        self._materialized: Dict[str, MaterializedView] = {}
+        #: Memo of :meth:`refresh_plan` / :meth:`base_sources` per view;
+        #: cleared whenever a definition or declaration changes.
+        self._refresh_plans: Dict[str, Plan] = {}
+        self._base_sources: Dict[str, FrozenSet[str]] = {}
 
     def define(self, name: str, plan: Plan) -> None:
         if name not in plan.output_columns():
@@ -39,6 +77,8 @@ class ViewRegistry:
                 f"it produces {plan.output_columns()}"
             )
         self._rules.setdefault(name, []).append(plan)
+        self._refresh_plans.clear()
+        self._base_sources.clear()
 
     def __contains__(self, name: str) -> bool:
         return name in self._rules
@@ -56,7 +96,12 @@ class ViewRegistry:
         return tuple(self._rules)
 
     def compose(self, plan: Plan, _expanding: frozenset = frozenset()) -> Plan:
-        """Replace every ``Source(mediator.<view>)`` leaf by the view plan."""
+        """Replace every ``Source(mediator.<view>)`` leaf by the view plan.
+
+        Materialized views are the exception: their leaves stay in the
+        plan and are served as ordinary documents by
+        :class:`MaterializedViewSource` at execution time.
+        """
         if isinstance(plan, SourceOp):
             if plan.source == VIEW_SOURCE:
                 if plan.document not in self._rules:
@@ -65,6 +110,8 @@ class ViewRegistry:
                     raise ViewError(
                         f"view {plan.document!r} is recursively defined"
                     )
+                if plan.document in self._materialized:
+                    return plan
                 # Views may reference other views: compose recursively.
                 return self.compose(
                     self.plan(plan.document),
@@ -78,3 +125,123 @@ class ViewRegistry:
         if all(new is old for new, old in zip(new_children, children)):
             return plan
         return plan.with_children(new_children)
+
+    # -- materialization ----------------------------------------------------------
+
+    def materialize(self, name: str) -> None:
+        """Declare *name* materialized (populated lazily on first use)."""
+        if name not in self._rules:
+            raise ViewError(f"unknown view: {name!r}")
+        if name not in self._materialized:
+            self._materialized[name] = MaterializedView(name)
+            self._refresh_plans.clear()
+            self._base_sources.clear()
+
+    def is_materialized(self, name: str) -> bool:
+        return name in self._materialized
+
+    def has_materialized(self) -> bool:
+        return bool(self._materialized)
+
+    def materialized_names(self) -> Tuple[str, ...]:
+        return tuple(self._materialized)
+
+    def materialized_entry(self, name: str) -> MaterializedView:
+        try:
+            return self._materialized[name]
+        except KeyError:
+            raise ViewError(f"view {name!r} is not materialized") from None
+
+    def reset_materialized(self) -> None:
+        """Drop every kept document (catalog changed; keep declarations)."""
+        for entry in self._materialized.values():
+            with entry.lock:
+                entry.document = None
+                entry.versions = None
+        self._refresh_plans.clear()
+        self._base_sources.clear()
+
+    def refresh_plan(self, name: str) -> Plan:
+        """The executable plan that (re)builds materialized view *name*.
+
+        The view's own definition is spliced (non-materialized inner
+        views expand recursively); *other* materialized views it reads
+        stay as ``Source(mediator.*)`` leaves and are served — and
+        refreshed — through the adapter, so a chain of materialized
+        views refreshes level by level.
+        """
+        memo = self._refresh_plans.get(name)
+        if memo is None:
+            memo = self._refresh_plans[name] = self.compose(
+                self.plan(name), _expanding=frozenset({name})
+            )
+        return memo
+
+    def base_sources(self, name: str, _seen: frozenset = frozenset()) -> FrozenSet[str]:
+        """The real source names view *name* transitively reads."""
+        if _seen == frozenset():
+            memo = self._base_sources.get(name)
+            if memo is not None:
+                return memo
+        names: Set[str] = set()
+        for node in self.refresh_plan(name).walk():
+            source = getattr(node, "source", None)
+            if source is None:
+                continue
+            if source == VIEW_SOURCE:
+                inner = node.document
+                if inner != name and inner not in _seen:
+                    names |= self.base_sources(inner, _seen | {name})
+            else:
+                names.add(source)
+        result = frozenset(names)
+        if _seen == frozenset():
+            self._base_sources[name] = result
+        return result
+
+    def materialized_stats(self) -> Dict[str, int]:
+        """Counters for the ``yat_view_*`` metrics family."""
+        declared = len(self._materialized)
+        populated = refreshes = serves = 0
+        for entry in self._materialized.values():
+            if entry.document is not None:
+                populated += 1
+            refreshes += entry.refreshes
+            serves += entry.serves
+        return {
+            "declared": declared,
+            "populated": populated,
+            "refreshes": refreshes,
+            "serves": serves,
+        }
+
+
+class MaterializedViewSource(SourceAdapter):
+    """Evaluator adapter serving materialized view documents.
+
+    Registered under :data:`VIEW_SOURCE` by the mediator whenever at
+    least one view is materialized; ``document()`` delegates back to the
+    mediator, which refreshes lazily when the view's base-source version
+    vector moved.  References inside a view document are resolved
+    through the base sources' identifier indexes (all connected adapters
+    contribute to the evaluation environment's merged index), so this
+    adapter exports none of its own.
+    """
+
+    def __init__(self, mediator) -> None:
+        self._mediator = mediator
+
+    def document_names(self) -> Tuple[str, ...]:
+        return self._mediator.views.materialized_names()
+
+    def document(self, name: str):
+        return self._mediator.materialized_document(name)
+
+    def ident_index(self) -> dict:
+        return {}
+
+    def execute_pushed(self, plan: Plan, outer=None):
+        raise ViewError(
+            "materialized views declare no native capabilities; "
+            "nothing can be pushed to them"
+        )

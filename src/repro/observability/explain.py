@@ -217,7 +217,7 @@ class Explanation:
 
     __slots__ = (
         "query", "naive_plan", "plan", "rewrites", "report", "tracer",
-        "cached", "access_paths",
+        "cached", "access_paths", "result_cached", "materialized_views",
     )
 
     def __init__(
@@ -230,6 +230,8 @@ class Explanation:
         tracer=None,
         cached: bool = False,
         access_paths: Optional[Dict[int, str]] = None,
+        result_cached: bool = False,
+        materialized_views: Tuple[str, ...] = (),
     ) -> None:
         self.query = query
         self.naive_plan = naive_plan
@@ -246,6 +248,12 @@ class Explanation:
         self.tracer = tracer
         #: True when the plan was served from the mediator's plan cache.
         self.cached = cached
+        #: True when the *answer* came (ANALYZE) or would come (plain
+        #: EXPLAIN) from the mediator's result cache.
+        self.result_cached = result_cached
+        #: Names of materialized views the plan reads as documents
+        #: instead of splicing their plans.
+        self.materialized_views = materialized_views
 
     @property
     def analyze(self) -> bool:
@@ -262,6 +270,10 @@ class Explanation:
             # Only emitted on an actual cache hit, so a fresh mediator
             # renders identically every time.
             lines.append("plan: cached")
+        if self.result_cached:
+            lines.append("result: cached")
+        for view in self.materialized_views:
+            lines.append(f"view: materialized ({view})")
         lines.append(f"plan ({rewrites} rewrites applied):")
         actuals = self.actuals()
         lines.append(render_plan(self.plan, actuals, self.access_paths))

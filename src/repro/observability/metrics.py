@@ -532,6 +532,47 @@ def record_plan_cache(registry: MetricsRegistry, mediator) -> None:
         )
         for name, help_text, field in gauges:
             registry.gauge(name, help_text).set(stats[field])
+    result_cache = getattr(mediator, "result_cache", None)
+    if result_cache is not None:
+        stats = result_cache.stats()
+        gauges = (
+            ("yat_result_cache_entries", "Answers currently cached.",
+             "entries"),
+            ("yat_result_cache_bytes",
+             "Serialized bytes held by cached answers.", "bytes"),
+            ("yat_result_cache_capacity_bytes",
+             "Configured result-cache byte bound.", "capacity"),
+            ("yat_result_cache_hits",
+             "Queries answered without execution.", "hits"),
+            ("yat_result_cache_misses", "Result cache lookups missed.",
+             "misses"),
+            ("yat_result_cache_invalidations",
+             "Answers dropped because a source data_version moved.",
+             "invalidations"),
+            ("yat_result_cache_evictions",
+             "Answers evicted to stay under the byte bound.", "evictions"),
+            ("yat_result_cache_flight_waits",
+             "Concurrent misses that waited on another session's "
+             "single-flight execution.", "flight_waits"),
+        )
+        for name, help_text, field in gauges:
+            registry.gauge(name, help_text).set(stats[field])
+    views = getattr(mediator, "views", None)
+    if views is not None and getattr(views, "has_materialized", None):
+        stats = views.materialized_stats()
+        gauges = (
+            ("yat_view_materialized", "Views declared materialized.",
+             "declared"),
+            ("yat_view_documents", "Materialized view documents held.",
+             "populated"),
+            ("yat_view_refreshes",
+             "Materialized view refresh executions (cold + stale).",
+             "refreshes"),
+            ("yat_view_serves",
+             "Queries served from a materialized view document.", "serves"),
+        )
+        for name, help_text, field in gauges:
+            registry.gauge(name, help_text).set(stats[field])
     kernels = kernel_cache_stats()
     registry.gauge(
         "yat_compiled_filter_kernels", "Compiled Bind filter kernels held."
@@ -606,6 +647,31 @@ def record_memo_stats(registry: MetricsRegistry, mediator) -> None:
     export("document_indexes", index_registry_stats())
     export("twig_kernels", twig_cache_stats())
     export("column_maps", column_map_stats())
+    # Mediator-level answer caches: the result cache is byte-bounded
+    # (capacity in bytes), the materialized-view store is bounded by the
+    # number of declared views; a refresh replaces (evicts) the old
+    # document.  Both export zeros when the feature is off, so the
+    # coverage guarantee of the memo family holds for every mediator.
+    result_cache = getattr(mediator, "result_cache", None)
+    result_stats = result_cache.stats() if result_cache is not None else {}
+    export("result_cache", {
+        "entries": result_stats.get("entries", 0),
+        "capacity": result_stats.get("capacity", 0),
+        "evictions": result_stats.get("evictions", 0),
+    })
+    views = getattr(mediator, "views", None)
+    view_stats = (
+        views.materialized_stats()
+        if views is not None and getattr(views, "materialized_stats", None)
+        else {}
+    )
+    export("materialized_views", {
+        "entries": view_stats.get("populated", 0),
+        "capacity": view_stats.get("declared", 0),
+        "evictions": max(
+            0, view_stats.get("refreshes", 0) - view_stats.get("populated", 0)
+        ),
+    })
     catalog = getattr(mediator, "catalog", None)
     adapters = catalog.adapters() if catalog is not None else {}
     shredded = registry.gauge(

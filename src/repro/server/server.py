@@ -229,6 +229,7 @@ class MediatorServer:
             "shed_overload": 0,
             "shed_quota": 0,
             "degraded_forced": 0,
+            "result_cache_hits": 0,
         }
         self._degraded_policy = _degraded_variant(
             self.config.policy
@@ -468,6 +469,8 @@ class MediatorServer:
         self._estimator.observe(completed - ticket.started_at)
         with self._lock:
             self.counters["completed" if error is None else "failed"] += 1
+            if result is not None and getattr(result, "result_cached", False):
+                self.counters["result_cache_hits"] += 1
         self._record(ticket.tenant, "ok" if error is None else "error")
         if self._m_requests is not None:
             self._m_latency.labels(priority=ticket.priority).observe(

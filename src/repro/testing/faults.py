@@ -342,6 +342,11 @@ class FaultyWrapper(Wrapper):
     def document_names(self) -> Tuple[str, ...]:
         return self.inner.document_names()
 
+    def data_version(self) -> int:
+        # Forwarded un-faulted: the result cache's version vector must
+        # see the real source move even through an injected fault.
+        return self.inner.data_version()
+
     # -- execution-time fault injection --------------------------------------------
 
     def build_document(self, name: str) -> DataNode:

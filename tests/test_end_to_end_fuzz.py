@@ -289,3 +289,73 @@ class TestCompileOnceSoundness:
             assert not cold.cached and warm.cached
             assert tree_to_xml(cold.document()) == reference
             assert tree_to_xml(warm.document()) == reference
+
+
+class TestResultCacheSoundness:
+    """Result-cache differential: a hit must be a byte-perfect stand-in.
+
+    The oracle is an identical mediator with the result cache off,
+    querying the *same* shredded store.  The subject answers three
+    times — cold (miss), warm (hit) and again after the stored document
+    is replaced at a new ``data_version()`` — swept over the
+    vectorize × twig × pushdown grid.  The post-update answer proves
+    incremental invalidation: the subject must never serve the
+    pre-update bytes once the source has moved.
+    """
+
+    QUERY = (
+        'MAKE $t MATCH artworks WITH works . work [ title . $t, style . $s ]'
+        ' WHERE $s = "Impressionist"'
+    )
+
+    GRID = tuple(
+        ExecutionPolicy(vectorize=vectorize, twig_joins=twig)
+        for vectorize in (False, True)
+        for twig in (False, True)
+    )
+
+    @staticmethod
+    def _mediator(source, pushdown, execution, result_cache_bytes):
+        mediator = Mediator(
+            execution=execution, result_cache_bytes=result_cache_bytes
+        )
+        mediator.connect(
+            StoreWrapper("depot", source, enable_pushdown=pushdown)
+        )
+        return mediator
+
+    @given(params=datasets)
+    @settings(max_examples=6, deadline=None)
+    def test_cache_on_equals_cache_off_cold_warm_and_after_update(self, params):
+        _database, store = CulturalDataset(**params).build()
+        original = store.collection_tree()
+        updated = tree_to_xml(original).replace(
+            "</works>",
+            "<work><title>Late Addition</title><artist>A. New</artist>"
+            "<style>Impressionist</style><size>1x1</size></work></works>",
+        )
+        for pushdown in (True, False):
+            for execution in self.GRID:
+                source = StoredXmlSource()
+                source.add_tree("artworks", original)
+                oracle = self._mediator(source, pushdown, execution, 0)
+                subject = self._mediator(
+                    source, pushdown, execution, 32 << 20
+                )
+                reference = tree_to_xml(oracle.query(self.QUERY).document())
+                cold = subject.query(self.QUERY)
+                warm = subject.query(self.QUERY)
+                assert not cold.result_cached and warm.result_cached
+                assert tree_to_xml(cold.document()) == reference
+                assert tree_to_xml(warm.document()) == reference
+                source.add_xml("artworks", updated)
+                after_reference = tree_to_xml(
+                    oracle.query(self.QUERY).document()
+                )
+                after = subject.query(self.QUERY)
+                assert not after.result_cached
+                assert tree_to_xml(after.document()) == after_reference, (
+                    f"stale answer after update "
+                    f"(pushdown={pushdown}, {execution!r})"
+                )
+                assert "Late Addition" in after_reference

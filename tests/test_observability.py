@@ -327,7 +327,8 @@ def test_record_memo_stats_covers_every_bounded_memo(cultural_mediator):
     record_memo_stats(registry, cultural_mediator)
     text = registry.exposition()
     for memo in ("kernels", "document_indexes", "twig_kernels",
-                 "column_maps", "o2artifact.fragments",
+                 "column_maps", "result_cache", "materialized_views",
+                 "o2artifact.fragments",
                  "o2artifact.prepared", "o2artifact.oql_results",
                  "xmlartwork.fragments", "xmlartwork.documents"):
         assert f'yat_memo_entries{{memo="{memo}"}}' in text
