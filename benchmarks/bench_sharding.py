@@ -1,0 +1,287 @@
+"""Sharded sources: scatter-gather speedup, shard pruning, failover cost.
+
+Three experiments back the sharding claims (experiment SH1):
+
+* **scatter-gather** — a full scan over an 8-shard (and 16-shard)
+  logical source, every shard behind an injected per-call latency
+  modeling a remote store.  Serial evaluation pays the latencies back
+  to back; ``parallelism=8`` overlaps them.  Target: >= 3x wall-clock
+  at parallelism=8 on the 8-shard topology.
+* **shard pruning** — the same federation asked a partition-key
+  equality: the planner's pruning reads one shard instead of eight.
+  The control is an identical topology partitioned on a label the
+  query does *not* restrict, so the same query scatters to every
+  shard.  Target: >= 5x serial wall-clock, pruned vs unpruned.
+* **replica failover** — every shard has two replicas and replica 0 is
+  permanently dead (instant connection failure, not a timeout); the
+  resilience runtime reroutes each call to replica 1.  Target: p99
+  per-query latency within 15% of an all-healthy run.
+
+Every experiment cross-checks the answers byte-for-byte against a
+monolithic mediator over the shard-major concatenation — the sharded
+federation may only change *where* data is read, never the answer.
+
+Run:  PYTHONPATH=src python benchmarks/bench_sharding.py
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.datasets import CulturalDataset, VIEW1_YAT
+from repro.core.algebra.scheduling import ExecutionPolicy
+from repro.mediator.mediator import Mediator
+from repro.mediator.resilience import ResiliencePolicy
+from repro.model.xml_io import tree_to_xml
+from repro.server.workload import percentile
+from repro.sources.sharded import (
+    HashPartition,
+    build_sharded_wais,
+    shard_major_store,
+    shard_wais_store,
+)
+from repro.testing import FaultSchedule, FaultyWrapper
+from repro.wrappers import O2Wrapper, WaisWrapper
+
+SCAN_Q = """MAKE $t
+MATCH artworks WITH doc . work [ title . $t, artist . $a ]
+"""
+PRUNE_Q = """MAKE $t
+MATCH artworks WITH doc . work [ title . $t, artist . $a ]
+WHERE $a = "Monet"
+"""
+
+
+def delayed(latency: float):
+    """A wrap hook adding *latency* seconds to every execution call."""
+
+    def wrap(wrapper, shard, replica):
+        if latency <= 0:
+            return wrapper
+        # Latency models the data plane (document transfer, pushed
+        # fragments); ``ident_index`` is a per-environment metadata
+        # merge — empty for Wais shards — and stays instant.
+        schedule = (
+            FaultSchedule()
+            .delay("document", latency)
+            .delay("execute_pushed", latency)
+        )
+        return FaultyWrapper(wrapper, schedule)
+
+    return wrap
+
+
+def dead_primary_with_latency(latency: float):
+    """Replica 0 fails instantly; replica 1 answers after *latency*."""
+    healthy = delayed(latency)
+
+    def wrap(wrapper, shard, replica):
+        if replica == 0:
+            return FaultyWrapper(wrapper, FaultSchedule().dead_source())
+        return healthy(wrapper, shard, replica)
+
+    return wrap
+
+
+def build_sharded(database, stores, partition, replicas=1, wrap=None):
+    """The paper's federation with a sharded Wais source (no result
+    cache — every timed query must actually execute)."""
+    mediator = Mediator(result_cache_bytes=0)
+    mediator.connect(O2Wrapper("o2artifact", database))
+    mediator.connect_sharded(
+        "xmlartwork",
+        build_sharded_wais(
+            "xmlartwork", stores, replicas=replicas, wrap=wrap
+        ),
+        partition,
+    )
+    mediator.declare_containment("artworks", "artifacts")
+    mediator.load_program(VIEW1_YAT)
+    return mediator
+
+
+def oracle_answer(database, stores, query: str) -> str:
+    mono = Mediator(result_cache_bytes=0)
+    mono.connect(O2Wrapper("o2artifact", database))
+    mono.connect(WaisWrapper("xmlartwork", shard_major_store(stores)))
+    mono.declare_containment("artworks", "artifacts")
+    mono.load_program(VIEW1_YAT)
+    return tree_to_xml(mono.query(query).document())
+
+
+def _timed_query(mediator, query, execution=None, policy=None, repeats=3):
+    # One untimed warmup so planning and kernel compilation are not
+    # charged to the first sample (matching benchmarks/report.py).
+    mediator.query(query, execution=execution, policy=policy)
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = mediator.query(query, execution=execution, policy=policy)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def scatter_rows(shard_counts=(8, 16), n=40, latency=0.025, repeats=3):
+    """``(shards, serial_s, parallel_s, speedup)`` per topology.
+
+    The parallel policy always grants 8 workers, so the 16-shard row
+    shows the two-wave cost of a fan-out above the worker count.
+    """
+    rows = []
+    for shards in shard_counts:
+        database, store = CulturalDataset(n_artifacts=n, seed=9).build()
+        partition = HashPartition("artist", shards)
+        stores = shard_wais_store(store, partition)
+        mediator = build_sharded(
+            database, stores, partition, wrap=delayed(latency)
+        )
+        reference = oracle_answer(database, stores, SCAN_Q)
+
+        serial_result, serial_s = _timed_query(
+            mediator, SCAN_Q, execution=ExecutionPolicy(parallelism=1),
+            repeats=repeats,
+        )
+        parallel_result, parallel_s = _timed_query(
+            mediator, SCAN_Q, execution=ExecutionPolicy(parallelism=8),
+            repeats=repeats,
+        )
+        assert tree_to_xml(serial_result.document()) == reference
+        assert tree_to_xml(parallel_result.document()) == reference
+        assert serial_result.report.stats.shard_scatter == shards
+        rows.append((shards, serial_s, parallel_s, serial_s / parallel_s))
+    return rows
+
+
+def pruning_row(shards=8, n=40, latency=0.025, repeats=3):
+    """``(pruned_s, unpruned_s, speedup, shards_read)`` for the key query.
+
+    The unpruned control partitions the same data on ``title``: the
+    query's ``artist`` equality then licenses no pruning and the scatter
+    visits every shard.  Both runs are serial, isolating pruning from
+    concurrency.
+    """
+    database, store = CulturalDataset(n_artifacts=n, seed=9).build()
+
+    by_artist = HashPartition("artist", shards)
+    artist_stores = shard_wais_store(store, by_artist)
+    pruned_mediator = build_sharded(
+        database, artist_stores, by_artist, wrap=delayed(latency)
+    )
+
+    by_title = HashPartition("title", shards)
+    title_stores = shard_wais_store(store, by_title)
+    unpruned_mediator = build_sharded(
+        database, title_stores, by_title, wrap=delayed(latency)
+    )
+
+    serial = ExecutionPolicy(parallelism=1)
+    pruned_result, pruned_s = _timed_query(
+        pruned_mediator, PRUNE_Q, execution=serial, repeats=repeats
+    )
+    unpruned_result, unpruned_s = _timed_query(
+        unpruned_mediator, PRUNE_Q, execution=serial, repeats=repeats
+    )
+    assert (
+        tree_to_xml(pruned_result.document())
+        == tree_to_xml(unpruned_result.document())
+        == oracle_answer(database, artist_stores, PRUNE_Q)
+    )
+    shards_read = pruned_result.report.stats.shard_scatter
+    assert shards_read == 1
+    assert unpruned_result.report.stats.shard_scatter == shards
+    return pruned_s, unpruned_s, unpruned_s / pruned_s, shards_read
+
+
+def failover_rows(shards=8, n=40, latency=0.02, samples=30):
+    """``(healthy_p50, healthy_p99, failover_p50, failover_p99,
+    overhead_pct)`` across *samples* queries per arm.
+
+    Both arms run two replicas per shard under the same injected
+    latency; the failover arm's replica 0 is permanently dead, so every
+    call pays one instant failure before the healthy replica answers.
+    """
+    database, store = CulturalDataset(n_artifacts=n, seed=9).build()
+    partition = HashPartition("artist", shards)
+    stores = shard_wais_store(store, partition)
+    reference = oracle_answer(database, stores, SCAN_Q)
+    policy = ResiliencePolicy(retry=None, circuit_failure_threshold=1)
+    execution = ExecutionPolicy(parallelism=8)
+
+    def run(wrap):
+        mediator = build_sharded(
+            database, stores, partition, replicas=2, wrap=wrap
+        )
+        # Untimed warmup: pays plan compilation and (in the failover
+        # arm) the per-replica circuit trips, which are one-time costs
+        # a steady-state latency distribution should not include.
+        warm = mediator.query(SCAN_Q, execution=execution, policy=policy)
+        latencies = []
+        failovers = warm.report.stats.shard_failovers
+        # Each sample is best-of-2 with the collector paused: a single
+        # GC pause or thread-scheduling miss serializes one shard call
+        # into a second latency wave and would otherwise *be* the p99.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(samples):
+                best = None
+                for _ in range(2):
+                    started = time.perf_counter()
+                    result = mediator.query(
+                        SCAN_Q, execution=execution, policy=policy
+                    )
+                    elapsed = time.perf_counter() - started
+                    best = elapsed if best is None else min(best, elapsed)
+                    assert tree_to_xml(result.document()) == reference
+                    assert result.degraded is False
+                    failovers += result.report.stats.shard_failovers
+                latencies.append(best)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return latencies, failovers
+
+    healthy_lat, _ = run(delayed(latency))
+    failover_lat, failovers = run(dead_primary_with_latency(latency))
+    assert failovers > 0, "dead replicas never triggered a failover"
+
+    healthy_p99 = percentile(healthy_lat, 99)
+    failover_p99 = percentile(failover_lat, 99)
+    overhead_pct = 100.0 * (failover_p99 - healthy_p99) / healthy_p99
+    return (
+        percentile(healthy_lat, 50),
+        healthy_p99,
+        percentile(failover_lat, 50),
+        failover_p99,
+        overhead_pct,
+    )
+
+
+def main() -> None:
+    print("SH1a — scatter-gather over latency-injected shards (25 ms/call)")
+    print(f"{'shards':>7} {'serial s':>9} {'par=8 s':>9} {'speedup':>8}")
+    for shards, serial_s, parallel_s, speedup in scatter_rows():
+        print(f"{shards:7d} {serial_s:9.3f} {parallel_s:9.3f} "
+              f"{speedup:7.1f}x")
+    print("target: >= 3x at parallelism=8 on 8 shards")
+
+    print()
+    print("SH1b — partition-key pruning vs unpruned scatter (serial)")
+    pruned_s, unpruned_s, speedup, shards_read = pruning_row()
+    print(f"pruned ({shards_read}/8 shards): {pruned_s * 1e3:8.1f} ms")
+    print(f"unpruned (8/8 shards):  {unpruned_s * 1e3:8.1f} ms")
+    print(f"speedup: {speedup:.1f}x (target >= 5x)")
+
+    print()
+    print("SH1c — replica failover: one dead replica per shard")
+    h50, h99, f50, f99, overhead = failover_rows()
+    print(f"healthy:  p50 {h50 * 1e3:7.1f} ms  p99 {h99 * 1e3:7.1f} ms")
+    print(f"failover: p50 {f50 * 1e3:7.1f} ms  p99 {f99 * 1e3:7.1f} ms")
+    print(f"p99 overhead: {overhead:.1f}% (target < 15%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -757,6 +757,75 @@ def report_serving():
     # always reflects this run.
 
 
+def report_sharding():
+    banner("SH1 — sharded sources: scatter-gather, shard pruning, replica failover")
+    try:
+        from benchmarks.bench_sharding import (
+            failover_rows, pruning_row, scatter_rows,
+        )
+    except ImportError:
+        from bench_sharding import failover_rows, pruning_row, scatter_rows
+
+    repeats = 2 if QUICK else 3
+    print("scatter-gather over latency-injected shards (25 ms/call):")
+    print(f"{'shards':>7} {'serial s':>9} {'par=8 s':>9} {'speedup':>8}")
+    speedup_8 = None
+    for shards, serial_s, parallel_s, speedup in scatter_rows(
+        shard_counts=(8,) if QUICK else (8, 16), repeats=repeats
+    ):
+        # Both arms pay the same injected latency, so the speedup is a
+        # ratio on one machine — gate-worthy even in smoke mode.
+        emit(
+            "shard_scatter",
+            {"shards": shards},
+            serial_s=serial_s,
+            parallel_s=parallel_s,
+            speedup=speedup,
+        )
+        print(f"{shards:7d} {serial_s:9.3f} {parallel_s:9.3f} {speedup:7.1f}x")
+        if shards == 8:
+            speedup_8 = speedup
+
+    pruned_s, unpruned_s, prune_speedup, shards_read = pruning_row(
+        repeats=repeats
+    )
+    emit(
+        "shard_pruning",
+        {"shards": 8},
+        pruned_s=pruned_s,
+        unpruned_s=unpruned_s,
+        speedup=prune_speedup,
+        shards_read=shards_read,
+    )
+    print(f"pruning: {shards_read}/8 shards read, "
+          f"{pruned_s * 1e3:.1f} ms vs unpruned {unpruned_s * 1e3:.1f} ms "
+          f"({prune_speedup:.1f}x)")
+
+    h50, h99, f50, f99, overhead = failover_rows(
+        samples=10 if QUICK else 30
+    )
+    emit(
+        "shard_failover",
+        {},
+        healthy_p50_ms=h50 * 1e3,
+        healthy_p99_ms=h99 * 1e3,
+        failover_p50_ms=f50 * 1e3,
+        failover_p99_ms=f99 * 1e3,
+        overhead_pct=overhead,
+    )
+    print(f"failover: healthy p99 {h99 * 1e3:.1f} ms, dead-primary p99 "
+          f"{f99 * 1e3:.1f} ms ({overhead:+.1f}%)")
+
+    acceptance = {
+        "shard_scatter_ok": bool(speedup_8 is not None and speedup_8 >= 3.0),
+        "shard_pruning_ok": bool(prune_speedup >= 5.0),
+        "shard_failover_ok": bool(overhead < 15.0),
+    }
+    emit("shard_acceptance", {}, **acceptance)
+    for name, passed in acceptance.items():
+        print(f"  {name}: {'PASS' if passed else 'FAIL'}")
+
+
 def main():
     print("YAT reproduction — experiment report"
           + (f" ({REPORT['mode']} mode)" if QUICK else ""))
@@ -775,6 +844,7 @@ def main():
     report_twig()
     report_store()
     report_serving()
+    report_sharding()
     out_path = Path(__file__).resolve().parent.parent / "BENCH_report.json"
     out_path.write_text(json.dumps(REPORT, indent=2) + "\n")
     print(f"\nwrote {len(REPORT['benchmarks'])} benchmark rows to {out_path.name}")

@@ -55,6 +55,7 @@ from repro.core.algebra.operators import (
     Plan,
     ProjectOp,
     PushedOp,
+    ScatterOp,
     SelectOp,
     SortOp,
     SourceOp,
@@ -315,6 +316,8 @@ def _dispatch(plan: Plan, env: Environment, outer: Optional[Row]) -> Tab:
         return _eval_djoin(plan, env, outer)
     if isinstance(plan, UnionOp):
         return _eval_union(plan, env, outer)
+    if isinstance(plan, ScatterOp):
+        return _eval_scatter(plan, env, outer)
     if isinstance(plan, IntersectOp):
         return _eval_intersect(plan, env, outer)
     if isinstance(plan, GroupOp):
@@ -1170,6 +1173,107 @@ def _eval_union(plan: UnionOp, env: Environment, outer: Optional[Row]) -> Tab:
         return combined
     combined = Tab(left.columns, tuple(left.rows) + tuple(right.rows)).distinct()
     env.stats.record_operator("Union", len(combined))
+    return combined
+
+
+def _eval_scatter(plan: ScatterOp, env: Environment, outer: Optional[Row]) -> Tab:
+    """Scatter-gather over shard branches, concatenated in shard order.
+
+    Unlike Union, no ``distinct`` is applied: the partitioning function
+    places every document on exactly one shard, so the branches are
+    disjoint bags whose shard-order concatenation *is* the logical
+    source's answer.  Branches run concurrently under a parallel policy
+    and fold in shard order, so the result — and error propagation — is
+    byte-identical to serial evaluation.
+
+    ``prune_param`` adds information-passing pruning: when the outer row
+    supplies the column the rule equated with the partition key, only
+    the branch owning that value's shard evaluates; the others are
+    pruned at runtime (per outer row, under a DJoin).
+
+    Degradation mirrors Union: under a partial-results policy a branch
+    whose shard is unavailable (all replicas down) is dropped and
+    recorded; with every branch down there is no partial answer.
+    """
+    active: List[Tuple[int, Plan]] = list(zip(plan.shard_ids, plan.branches))
+    runtime_pruned = 0
+    if plan.prune_param is not None and outer is not None and plan.prune_param in outer:
+        target = plan.partition.shard_of(_unwrap(outer[plan.prune_param]))
+        kept = [(sid, branch) for sid, branch in active if sid == target]
+        runtime_pruned = len(active) - len(kept)
+        active = kept
+    env.stats.record_shard(
+        scatter=len(active),
+        pruned=(plan.total - len(plan.branches)) + runtime_pruned,
+    )
+    if env.tracer is not None:
+        env.tracer.annotate(
+            shards=len(active), shard_total=plan.total,
+            shard_pruned=plan.total - len(active),
+        )
+    if not active:
+        # Every branch statically targeted other shards than the outer
+        # row's key value: the row matches nothing on this source.
+        return Tab(plan.output_columns(), [])
+
+    scheduler = env.scheduler() if len(active) > 1 else None
+    if scheduler is not None:
+        outcomes = scheduler.run(
+            [lambda b=branch: _evaluate(b, env, outer) for _sid, branch in active],
+            tracer=env.tracer,
+            context=env.context,
+        )
+        env.stats.record_parallel(len(active))
+
+        def branch_result(index: int) -> Tab:
+            tab, error = outcomes[index]
+            if error is not None:
+                raise error
+            return tab
+
+    else:
+
+        def branch_result(index: int) -> Tab:
+            return _evaluate(active[index][1], env, outer)
+
+    tabs: List[Tab] = []
+    last_error: Optional[SourceUnavailableError] = None
+    for index, (_sid, branch) in enumerate(active):
+        try:
+            tabs.append(branch_result(index))
+        except SourceUnavailableError as error:
+            if env.resilience is None or not env.resilience.allow_partial:
+                raise
+            involved = ", ".join(sorted(_branch_sources(branch))) or "?"
+            failed = error.source or involved
+            env.resilience.record_dropped(
+                failed, f"shard branch over [{involved}] dropped: {error}"
+            )
+            if env.tracer is not None:
+                env.tracer.annotate(dropped=failed)
+            last_error = error
+    if not tabs:
+        raise PartialResultError(
+            "every shard branch failed; no partial result to return"
+        ) from last_error
+    columns = tabs[0].columns
+    tabs = [
+        tab if tab.columns == columns else tab.project(columns) for tab in tabs
+    ]
+    if env.policy.vectorize and any(tab.is_columnar for tab in tabs):
+        data = tuple(
+            tuple(cell for tab in tabs for cell in tab.column_data()[i])
+            for i in range(len(columns))
+        )
+        combined = Tab.from_columns(columns, data, sum(len(t) for t in tabs))
+        env.stats.record_operator("Scatter", len(combined))
+        env.stats.record_batch(len(combined))
+        return combined
+    rows: List[Row] = []
+    for tab in tabs:
+        rows.extend(tab.rows)
+    combined = Tab(columns, rows)
+    env.stats.record_operator("Scatter", len(combined))
     return combined
 
 

@@ -547,6 +547,85 @@ class FuseOp(Plan):
         return f"Fuse({len(self.inputs)} rules -> {self.document})"
 
 
+class ScatterOp(Plan):
+    """Scatter-gather over the shards of one partitioned logical source.
+
+    Produced by the shard-expansion rewrite: each branch is the original
+    ``[Project?][Select*]Bind(Source)`` chain re-targeted at one shard of
+    the logical source.  Evaluation concatenates the branch Tabs in shard
+    order — *bag* semantics, no ``distinct``: the partitioning function
+    places every document on exactly one shard, so branches are disjoint
+    by construction and the concatenation equals the logical source's
+    shard-major document order.
+
+    The logical source's name is deliberately held in ``logical`` rather
+    than ``source``: :meth:`Plan.sources` (and therefore the result
+    cache's version vector) discovers sources through the ``source``
+    attribute, and a scatter plan's freshness depends only on the shards
+    its surviving branches actually read.
+
+    ``shard_ids`` are the shard indexes of the surviving branches (shard
+    order); ``total`` is the full shard count, so ``len(branches)/total``
+    is the pruning decision.  ``prune_param``, when set, names an outer
+    column equated with the partition key inside the branches: per outer
+    row, only the branch owning that row's key value is evaluated
+    (information-passing pruning under a DJoin).
+    """
+
+    __slots__ = ("branches", "logical", "shard_ids", "total", "partition",
+                 "prune_param")
+
+    def __init__(
+        self,
+        branches: Sequence[Plan],
+        logical: str,
+        shard_ids: Sequence[int],
+        total: int,
+        partition,
+        prune_param: Optional[str] = None,
+    ) -> None:
+        if not branches:
+            raise AlgebraError("Scatter requires at least one branch")
+        if len(branches) != len(shard_ids):
+            raise AlgebraError("Scatter needs one shard id per branch")
+        self.branches = tuple(branches)
+        self.logical = logical
+        self.shard_ids = tuple(shard_ids)
+        self.total = total
+        self.partition = partition
+        self.prune_param = prune_param
+
+    def children(self):
+        return self.branches
+
+    def with_children(self, children):
+        return ScatterOp(
+            children, self.logical, self.shard_ids, self.total,
+            self.partition, self.prune_param,
+        )
+
+    def output_columns(self):
+        return self.branches[0].output_columns()
+
+    def _key(self):
+        return (
+            "scatter",
+            self.logical,
+            self.shard_ids,
+            self.total,
+            self.partition.spec_key(),
+            self.prune_param,
+            tuple(b._key() for b in self.branches),
+        )
+
+    def describe(self):
+        param = f", prune=${self.prune_param}" if self.prune_param else ""
+        return (
+            f"Scatter({self.logical}, "
+            f"{len(self.branches)}/{self.total} shards{param})"
+        )
+
+
 class PushedOp(Plan):
     """A plan fragment delegated to a wrapper.
 

@@ -86,6 +86,14 @@ class ExecutionStats:
         self.store_scans: int = 0
         self.store_hydrated_nodes: int = 0
         self.store_bytes_avoided: int = 0
+        #: Sharded sources: shard branches actually evaluated by
+        #: scatter-gather, branches pruned away (statically by a
+        #: constant partition-key restriction or per outer row under a
+        #: DJoin), and shard calls routed to a fallback replica after
+        #: the preferred one was unavailable.
+        self.shard_scatter: int = 0
+        self.shard_pruned: int = 0
+        self.shard_failovers: int = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -194,6 +202,15 @@ class ExecutionStats:
             self.store_hydrated_nodes += hydrated_nodes
             self.store_bytes_avoided += bytes_avoided
 
+    def record_shard(
+        self, scatter: int = 0, pruned: int = 0, failovers: int = 0
+    ) -> None:
+        """Record one scatter evaluation (or replica failover) over shards."""
+        with self._lock:
+            self.shard_scatter += scatter
+            self.shard_pruned += pruned
+            self.shard_failovers += failovers
+
     # -- totals ---------------------------------------------------------------
 
     @property
@@ -252,6 +269,9 @@ class ExecutionStats:
             "store_scans": self.store_scans,
             "store_hydrated_nodes": self.store_hydrated_nodes,
             "store_bytes_avoided": self.store_bytes_avoided,
+            "shard_scatter": self.shard_scatter,
+            "shard_pruned": self.shard_pruned,
+            "shard_failovers": self.shard_failovers,
         }
 
     def summary(self) -> str:
@@ -301,6 +321,12 @@ class ExecutionStats:
                 f"{self.store_scans} scans, "
                 f"{self.store_hydrated_nodes} nodes hydrated, "
                 f"{self.store_bytes_avoided} bytes avoided"
+            )
+        if self.shard_scatter or self.shard_pruned or self.shard_failovers:
+            lines.append(
+                f"shards: {self.shard_scatter} scattered, "
+                f"{self.shard_pruned} pruned, "
+                f"{self.shard_failovers} failovers"
             )
         if self.total_failures or self.total_retries:
             lines.append(

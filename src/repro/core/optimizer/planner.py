@@ -47,6 +47,7 @@ from repro.core.optimizer.rules import (
     RewriteTrace,
     rewrite_fixpoint,
 )
+from repro.core.optimizer.sharding import ShardExpansionRule
 
 
 def round_one_rules() -> List[RewriteRule]:
@@ -64,8 +65,10 @@ def round_one_rules() -> List[RewriteRule]:
 
 
 def round_two_rules() -> List[RewriteRule]:
-    """Capability-based rewriting."""
+    """Capability-based rewriting (and shard expansion, which must see
+    the Bind chain before pushdown replaces it with a Pushed fragment)."""
     return [
+        ShardExpansionRule(),
         EquivalenceInsertionRule(),
         CapabilityPushdownRule(),
     ]

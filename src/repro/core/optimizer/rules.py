@@ -45,9 +45,13 @@ class OptimizerContext:
         containments: Optional[Set[Tuple[str, str]]] = None,
         cost_hints: Optional[object] = None,
         gate_information_passing: bool = False,
+        shards: Optional[Dict[str, object]] = None,
     ) -> None:
         self.interfaces: Dict[str, SourceInterface] = dict(interfaces or {})
         self.containments: Set[Tuple[str, str]] = set(containments or ())
+        #: ``{logical source name: ShardTopology}`` for partitioned
+        #: sources; consulted by the shard-expansion rule.
+        self.shards: Dict[str, object] = dict(shards or {})
         #: Optional :class:`~repro.core.optimizer.cost.CostHints` used by
         #: cost-gated rules.
         self.cost_hints = cost_hints

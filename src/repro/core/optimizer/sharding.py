@@ -1,0 +1,211 @@
+"""Shard expansion and pruning — partition-aware planning (round two).
+
+A Bind chain over a sharded logical source reads the shard-major
+concatenation of the shard documents.  When the chain's filter is a
+single iteration over the collection root (``FElem(root)[FStar(work)]``),
+every binding row comes from exactly one root child, i.e. from exactly
+one shard — so the chain distributes over the shards:
+
+    [Project]([Select]*(Bind(Source(logical))))
+        ⇒ Scatter_i [Project]([Select]*(Bind(Source(logical#i))))
+
+in shard order, preserving the logical document order row for row (bag
+semantics; no dedup).  Expanding *before* capability pushdown lets each
+branch push its own fragment to its shard wrapper, and the scatter
+branches run under the plan scheduler's parallelism.
+
+Pruning drops branches that cannot contribute rows.  A restriction on
+the partition-key value — an in-filter constant (``artist: "Monet"``) or
+a Select comparison against a key-bound variable — is handed to the
+partition scheme's :meth:`prune`, which answers with the shards that
+could hold a matching document.  Soundness rests on placement and
+pruning sharing one function (see :mod:`repro.sources.sharded.partition`);
+``contains`` predicates never prune (word containment says nothing about
+the key's full value).  An equality against an *outer* variable (under a
+DJoin) cannot be pruned statically; it becomes the Scatter's
+``prune_param`` and the evaluator routes each outer row to its one
+owning shard at run time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.core.algebra.expressions import Cmp, Const, Var, conjuncts
+from repro.core.algebra.operators import (
+    BindOp,
+    Plan,
+    ProjectOp,
+    ScatterOp,
+    SelectOp,
+    SourceOp,
+)
+from repro.core.optimizer.rules import OptimizerContext, RewriteRule
+from repro.model.filters import FConst, FElem, FStar, FVar
+
+#: Comparison operators a partition scheme can act on.  ``!=`` excludes
+#: at most one value and never excludes a shard, so it is not listed.
+_COMPARISONS = frozenset(("=", "<", "<=", ">", ">="))
+_FLIP = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class ShardExpansionRule(RewriteRule):
+    """``Bind(Source(logical))`` chain ⇒ ``Scatter`` of per-shard chains."""
+
+    name = "ShardExpansion"
+
+    def apply(self, plan: Plan, context: OptimizerContext) -> Optional[Plan]:
+        if not context.shards:
+            return None
+        projection, selects, bind = _chain_of(plan)
+        if bind is None:
+            return None
+        source = bind.input
+        topology = context.shards.get(source.source)
+        if topology is None:
+            return None
+        # ``keep_on`` would put the whole (per-shard) document tree in the
+        # output, which differs from the logical document — don't expand.
+        if bind.on != source.document or bind.keep_on:
+            return None
+        flt = bind.filter
+        if not _distributes(flt):
+            return None
+
+        partition = topology.partition
+        key_vars, static_consts = _key_restrictions(
+            flt.children[0].child, partition.key
+        )
+        local = set(bind.output_columns())
+        restrictions: List[Tuple[str, object]] = [
+            ("=", Const(value)) for value in static_consts
+        ]
+        for select in selects:
+            for part in conjuncts(select.predicate):
+                found = _key_comparison(part, key_vars, local)
+                if found is not None:
+                    restrictions.append(found)
+
+        allowed: Optional[frozenset] = None
+        prune_param: Optional[str] = None
+        for op, operand in restrictions:
+            if isinstance(operand, Const):
+                pruned = partition.prune(op, operand.value)
+                if pruned is not None:
+                    allowed = pruned if allowed is None else allowed & pruned
+            elif op == "=" and prune_param is None:
+                prune_param = operand  # outer column name, pruned at run time
+
+        shard_ids = [
+            index
+            for index in range(topology.total)
+            if allowed is None or index in allowed
+        ]
+        if not shard_ids:
+            # Contradictory key restrictions: no shard can match.  A
+            # Scatter needs at least one branch, so keep shard 0 — it
+            # dutifully computes the empty answer.
+            shard_ids = [0]
+
+        branches = []
+        for index in shard_ids:
+            branch: Plan = BindOp(
+                SourceOp(topology.shard_names[index], source.document),
+                flt,
+                on=bind.on,
+            )
+            for select in reversed(selects):
+                branch = SelectOp(branch, select.predicate)
+            if projection is not None:
+                branch = ProjectOp(branch, projection.items)
+            branches.append(branch)
+        return ScatterOp(
+            branches,
+            logical=source.source,
+            shard_ids=shard_ids,
+            total=topology.total,
+            partition=partition,
+            prune_param=prune_param,
+        )
+
+
+def _chain_of(plan: Plan):
+    """Decompose ``[Project?][Select*]Bind(Source)``; bind is None on miss.
+
+    Selects are returned outermost first.
+    """
+    projection = None
+    node = plan
+    if isinstance(node, ProjectOp):
+        projection = node
+        node = node.input
+    selects: List[SelectOp] = []
+    while isinstance(node, SelectOp):
+        selects.append(node)
+        node = node.input
+    if isinstance(node, BindOp) and isinstance(node.input, SourceOp):
+        return projection, selects, node
+    return None, None, None
+
+
+def _distributes(flt) -> bool:
+    """Does the filter distribute over a partition of the root's children?
+
+    Required shape: a plain-labeled element filter whose only item is one
+    iteration.  A root ``var`` would bind the whole (per-shard) document;
+    a second item (``FRest``, another ``FStar``) would relate siblings
+    across shards — either breaks the one-row-one-shard argument.
+    """
+    return (
+        isinstance(flt, FElem)
+        and isinstance(flt.label, str)
+        and flt.var is None
+        and len(flt.children) == 1
+        and isinstance(flt.children[0], FStar)
+    )
+
+
+def _key_restrictions(pattern, key: str) -> Tuple[Set[str], List[object]]:
+    """Partition-key variables and in-filter key constants of one
+    per-document pattern.
+
+    Only *direct* child items count: placement hashes a document's
+    top-level ``key`` child (see :func:`document_key_value`), so only
+    those items are guaranteed to bind the value placement saw.
+    """
+    names: Set[str] = set()
+    consts: List[object] = []
+    if not isinstance(pattern, FElem):
+        return names, consts
+    for item in pattern.children:
+        if not isinstance(item, FElem) or item.label != key:
+            continue
+        if item.var is not None and not item.children:
+            names.add(item.var)  # binds the key element node
+        if len(item.children) == 1:
+            inner = item.children[0]
+            if isinstance(inner, FVar):
+                names.add(inner.name)  # binds the key content
+                if item.var is not None:
+                    names.add(item.var)
+            elif isinstance(inner, FConst):
+                consts.append(inner.value)
+    return names, consts
+
+
+def _key_comparison(part, key_vars: Set[str], local: Set[str]):
+    """``(op, Const)`` or ``(op, outer column name)`` when *part* compares
+    a key-bound variable with a constant or an outer variable."""
+    if not isinstance(part, Cmp) or part.op not in _COMPARISONS:
+        return None
+    if isinstance(part.left, Var) and part.left.name in key_vars:
+        op, other = part.op, part.right
+    elif isinstance(part.right, Var) and part.right.name in key_vars:
+        op, other = _FLIP[part.op], part.left
+    else:
+        return None
+    if isinstance(other, Const):
+        return op, other
+    if isinstance(other, Var) and other.name not in local:
+        return op, other.name
+    return None

@@ -50,6 +50,7 @@ def build_mediator(
     plan_cache_size: int = 128,
     store_path: str = None,
     result_cache_bytes: int = 32 << 20,
+    shards: int = 0,
 ) -> Mediator:
     """The paper's running federation, sized for demonstration.
 
@@ -58,6 +59,11 @@ def build_mediator(
     path and connected as source ``store`` serving document
     ``stored_artworks`` (reused untouched when the file already holds
     documents).
+
+    With ``shards > 1`` the Wais collection connects as a *sharded*
+    logical source instead: hash-partitioned on ``artist`` into that
+    many shards (``xmlartwork#0 ..``), so plans over ``artworks`` show
+    scatter-gather branches and shard pruning.
     """
     database, store = CulturalDataset(n_artifacts=n_artifacts, seed=seed).build()
     mediator = Mediator(
@@ -65,7 +71,20 @@ def build_mediator(
         result_cache_bytes=result_cache_bytes,
     )
     mediator.connect(O2Wrapper("o2artifact", database))
-    mediator.connect(WaisWrapper("xmlartwork", store))
+    if shards > 1:
+        from repro.sources.sharded import (
+            HashPartition,
+            build_sharded_wais,
+            shard_wais_store,
+        )
+
+        partition = HashPartition("artist", shards)
+        stores = shard_wais_store(store, partition)
+        mediator.connect_sharded(
+            "xmlartwork", build_sharded_wais("xmlartwork", stores), partition
+        )
+    else:
+        mediator.connect(WaisWrapper("xmlartwork", store))
     if store_path is not None:
         from repro.sources.stored import StoredXmlSource
         from repro.wrappers.store_wrapper import StoreWrapper
@@ -135,6 +154,12 @@ def main(argv=None) -> int:
         "an existing store file is reused without re-shredding",
     )
     parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="connect the Wais collection as a sharded logical source: "
+        "N hash shards on artist; Bind chains over artworks show "
+        "scatter branches and the per-Bind pruning decision",
+    )
+    parser.add_argument(
         "--no-plan-cache", action="store_true",
         help="disable the mediator's plan cache (every run plans from scratch)",
     )
@@ -163,6 +188,7 @@ def main(argv=None) -> int:
         plan_cache_size=0 if args.no_plan_cache else 128,
         store_path=args.store,
         result_cache_bytes=0 if args.no_result_cache else 32 << 20,
+        shards=args.shards,
     )
     execution = (
         ExecutionPolicy.parallel(args.parallelism)

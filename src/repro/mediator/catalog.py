@@ -10,7 +10,7 @@ what the protocol can express.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import MediatorError, UnknownSourceError
 from repro.capabilities.interface import SourceInterface
@@ -26,6 +26,7 @@ class Catalog:
         self._adapters: Dict[str, SourceAdapter] = {}
         self._interfaces: Dict[str, SourceInterface] = {}
         self._document_sources: Dict[str, str] = {}
+        self._topologies: Dict[str, object] = {}
 
     # -- connection -----------------------------------------------------------
 
@@ -50,6 +51,75 @@ class Catalog:
         self._interfaces[wrapper.name] = interface
         return interface
 
+    def connect_sharded(
+        self, logical: str, shards: Sequence[SourceAdapter], partition
+    ) -> Tuple[SourceInterface, ...]:
+        """Connect N shard adapters as one sharded logical source.
+
+        The shard adapters register under the shard names
+        ``logical#0 .. logical#N-1`` together with their imported
+        interfaces — pruned scatter branches and their pushed fragments
+        target the shards.  The exported documents are claimed by the
+        *logical* name, which gets a
+        :class:`~repro.sources.sharded.adapter.ShardedSourceAdapter`
+        (shard-major concatenation) plus the shards' *common* interface
+        re-imported under the logical name: shards are homogeneous, so
+        the logical source supports exactly what shard 0 declared, and
+        type-driven planning treats it like any other source.  A
+        fragment pushed to the logical source (possible only when shard
+        expansion declined the chain) is scattered by the adapter.
+        """
+        from repro.sources.sharded import (
+            ShardedSourceAdapter,
+            ShardTopology,
+            shard_name,
+        )
+
+        shards = tuple(shards)
+        names = tuple(shard_name(logical, index) for index in range(len(shards)))
+        topology = ShardTopology(logical, partition, names)
+        if logical in self._adapters:
+            raise MediatorError(f"source {logical!r} already connected")
+        interfaces: Dict[str, SourceInterface] = {}
+        documents: Optional[Tuple[str, ...]] = None
+        for name, adapter in zip(names, shards):
+            if name in self._adapters:
+                raise MediatorError(f"source {name!r} already connected")
+            interface = xml_to_interface(adapter.interface_xml())
+            if interface.name != name:
+                raise MediatorError(
+                    f"shard adapter {name!r} exported an interface named "
+                    f"{interface.name!r}"
+                )
+            if documents is None:
+                documents = tuple(interface.documents)
+            elif tuple(interface.documents) != documents:
+                raise MediatorError(
+                    f"shards of {logical!r} disagree on exported documents: "
+                    f"{documents!r} vs {tuple(interface.documents)!r}"
+                )
+            interfaces[name] = interface
+        for document in documents or ():
+            if document in self._document_sources:
+                raise MediatorError(
+                    f"document {document!r} is exported by both "
+                    f"{self._document_sources[document]!r} and {logical!r}"
+                )
+        logical_adapter = ShardedSourceAdapter(logical, shards)
+        # The logical source's interface is shard 0's, re-imported under
+        # the logical name (a fresh parse, so renaming it is safe).
+        logical_interface = xml_to_interface(shards[0].interface_xml())
+        logical_interface.name = logical
+        for name, adapter in zip(names, shards):
+            self._adapters[name] = adapter
+            self._interfaces[name] = interfaces[name]
+        for document in documents or ():
+            self._document_sources[document] = logical
+        self._adapters[logical] = logical_adapter
+        self._interfaces[logical] = logical_interface
+        self._topologies[logical] = topology
+        return tuple(interfaces[name] for name in names)
+
     # -- lookups -----------------------------------------------------------------
 
     def adapter(self, source: str) -> SourceAdapter:
@@ -73,6 +143,10 @@ class Catalog:
     def source_of_document(self, document: str) -> Optional[str]:
         """The source exporting *document*, or ``None``."""
         return self._document_sources.get(document)
+
+    def shard_topologies(self) -> Dict[str, object]:
+        """``{logical source name: ShardTopology}`` of sharded sources."""
+        return dict(self._topologies)
 
     def document_names(self) -> Tuple[str, ...]:
         return tuple(self._document_sources)

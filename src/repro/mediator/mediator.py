@@ -73,6 +73,18 @@ def _adapter_version(adapter) -> int:
     return 0
 
 
+def _constant_pruned(plan: Plan) -> bool:
+    """Does *plan* contain a Scatter whose shard set was pruned on a
+    constant?  Such plans are bound to their constants — rebinding a
+    cached one to new values would keep the stale shard selection."""
+    from repro.core.algebra.operators import ScatterOp
+
+    return any(
+        isinstance(node, ScatterOp) and len(node.branches) < node.total
+        for node in plan.walk()
+    )
+
+
 def _mediator_contains(document: object, text: object) -> bool:
     if not isinstance(document, DataNode) or not isinstance(text, str):
         return False
@@ -241,6 +253,34 @@ class Mediator:
         self._invalidate_plans()
         return interface
 
+    def connect_sharded(
+        self, logical: str, shards: Sequence, partition
+    ) -> Tuple[SourceInterface, ...]:
+        """Connect N shard adapters as one sharded logical source.
+
+        *shards* are per-shard wrappers (or
+        :class:`~repro.sources.sharded.adapter.ReplicaSet` bundles of
+        them) in shard order; *partition* is the placement scheme
+        (:class:`~repro.sources.sharded.partition.HashPartition` or
+        :class:`~repro.sources.sharded.partition.RangePartition`).  The
+        optimizer learns the topology through :meth:`optimizer_context`
+        and expands Bind chains over the logical source into pruned
+        scatter plans; see :mod:`repro.core.optimizer.sharding`.
+        """
+        interfaces = self.catalog.connect_sharded(logical, shards, partition)
+        for interface in interfaces:
+            for name, declaration in interface.operations.items():
+                if (
+                    declaration.kind == "external"
+                    and name.startswith("contains_")
+                    and name not in self.functions
+                ):
+                    self.functions[name] = _field_contains(
+                        name.removeprefix("contains_")
+                    )
+        self._invalidate_plans()
+        return interfaces
+
     def load_program(self, text: str) -> Tuple[str, ...]:
         """Parse a YAT_L program and register each rule as a view.
 
@@ -334,6 +374,7 @@ class Mediator:
             containments=set(self._containments),
             cost_hints=self.cost_hints() if self.gate_information_passing else None,
             gate_information_passing=self.gate_information_passing,
+            shards=self.catalog.shard_topologies(),
         )
 
     def plan_query(
@@ -400,13 +441,17 @@ class Mediator:
         if entry is not None:
             if entry.values == normalized.values:
                 return entry.naive, entry.plan, entry.trace, True
-            # Same shape, different constants: splice the new values into
-            # the cached plans instead of replanning.  The trace still
-            # describes the rewrites (they are constant-independent).
-            cache.record_rebind()
-            naive = rebind_plan(entry.naive, normalized.values)
-            optimized = rebind_plan(entry.plan, normalized.values)
-            return naive, optimized, entry.trace, True
+            if not _constant_pruned(entry.plan):
+                # Same shape, different constants: splice the new values
+                # into the cached plans instead of replanning.  The trace
+                # still describes the rewrites (constant-independent) —
+                # *except* when a Scatter was pruned on a constant: which
+                # shards survive depends on the constant's value, so such
+                # plans replan per value vector instead of rebinding.
+                cache.record_rebind()
+                naive = rebind_plan(entry.naive, normalized.values)
+                optimized = rebind_plan(entry.plan, normalized.values)
+                return naive, optimized, entry.trace, True
         naive, optimized, trace = self._plan_fresh(
             normalized.query, optimize, rounds
         )
@@ -714,7 +759,12 @@ class Mediator:
         sargable and document indexes are enabled, ``bind: scan``
         otherwise.
         """
-        from repro.core.algebra.operators import BindOp, PushedOp, SourceOp
+        from repro.core.algebra.operators import (
+            BindOp,
+            PushedOp,
+            ScatterOp,
+            SourceOp,
+        )
         from repro.core.algebra.twig import compiled_twig
         from repro.core.optimizer.cost import choose_bind_access
         from repro.observability.explain import Explanation
@@ -743,6 +793,20 @@ class Mediator:
                     if access is not None
                     else "bind: scan"
                 )
+        # Scatter nodes: show the pruning decision — how many shards of
+        # the topology this Bind chain actually reads, and whether each
+        # outer row is routed to its owning shard at run time.
+        for node in optimized.walk():
+            if not isinstance(node, ScatterOp):
+                continue
+            kept = len(node.branches)
+            if kept < node.total:
+                label = f"bind: shard-pruned {kept}/{node.total}"
+            else:
+                label = f"bind: scatter {kept}/{node.total}"
+            if node.prune_param is not None:
+                label += f", runtime prune on ${node.prune_param}"
+            access_paths[id(node)] = label
         # Pushed fragments: the access path is the *wrapper's* choice
         # (SQL interval pushdown vs. hydrated scan for store-backed
         # sources).  walk() stops at PushedOp on purpose — the fragment

@@ -303,11 +303,22 @@ class PolicyRuntime:
         return self.policy.allow_partial_results
 
     def wrap(self, adapters: Dict[str, SourceAdapter]) -> Dict[str, SourceAdapter]:
-        """Adapters guarded by this runtime (idempotent per name)."""
-        return {
-            name: ResilientAdapter(name, adapter, self)
-            for name, adapter in adapters.items()
-        }
+        """Adapters guarded by this runtime (idempotent per name).
+
+        A :class:`~repro.sources.sharded.adapter.ReplicaSet` is guarded
+        *replica by replica* (:class:`FailoverAdapter`): each replica
+        gets its own breaker and outcome record, and a failed replica
+        routes the call to the next one instead of failing the shard.
+        """
+        from repro.sources.sharded.adapter import ReplicaSet
+
+        wrapped: Dict[str, SourceAdapter] = {}
+        for name, adapter in adapters.items():
+            if isinstance(adapter, ReplicaSet):
+                wrapped[name] = FailoverAdapter(name, adapter, self)
+            else:
+                wrapped[name] = ResilientAdapter(name, adapter, self)
+        return wrapped
 
     def breaker(self, source: str) -> CircuitBreaker:
         with self._lock:
@@ -492,4 +503,69 @@ class ResilientAdapter(SourceAdapter):
             self.name,
             "execute_pushed",
             lambda: self.inner.execute_pushed(plan, outer),
+        )
+
+
+class FailoverAdapter(SourceAdapter):
+    """A replica set guarded replica by replica.
+
+    Every replica is called under its own scope name (``shard/r0``,
+    ``shard/r1``, ...), so each has its own circuit breaker, retry
+    accounting and :class:`SourceOutcome` record.  A replica whose
+    guarded call still fails — retries exhausted or circuit already
+    open — *fails over*: the call is routed to the next replica instead
+    of failing the shard, and only when every replica is exhausted does
+    the shard raise :class:`~repro.errors.SourceUnavailableError`.
+    Failovers are counted on the execution statistics
+    (``shard_failovers``); the answer is complete, never ``degraded``.
+    """
+
+    __slots__ = ("name", "inner", "runtime")
+
+    def __init__(self, name: str, inner, runtime: PolicyRuntime) -> None:
+        self.name = name
+        self.inner = inner
+        self.runtime = runtime
+
+    def document_names(self) -> Tuple[str, ...]:
+        return self.inner.document_names()
+
+    def document_name_set(self) -> frozenset:
+        return self.inner.document_name_set()
+
+    def data_version(self):
+        return self.inner.data_version()
+
+    def _failover(self, operation: str, invoke: Callable[[SourceAdapter], T]) -> T:
+        replicas = self.inner.replicas
+        last_error: Optional[SourceUnavailableError] = None
+        for index, replica in enumerate(replicas):
+            scope = self.inner.replica_name(index)
+            try:
+                return self.runtime.call(
+                    scope, operation, lambda r=replica: invoke(r)
+                )
+            except SourceUnavailableError as error:
+                # QueryDeadlineError is not caught: out of time means out
+                # of time on every replica.
+                last_error = error
+                if index + 1 < len(replicas):
+                    self.runtime.stats.record_shard(failovers=1)
+        raise SourceUnavailableError(
+            f"every replica of {self.name!r} failed {operation}: {last_error}",
+            source=self.name,
+            attempts=len(replicas),
+        ) from last_error
+
+    def document(self, name: str) -> DataNode:
+        return self._failover("document", lambda r: r.document(name))
+
+    def ident_index(self) -> Dict[str, DataNode]:
+        return self._failover("ident_index", lambda r: r.ident_index())
+
+    def execute_pushed(
+        self, plan: Plan, outer: Optional[Row] = None
+    ) -> Tuple[Tab, str]:
+        return self._failover(
+            "execute_pushed", lambda r: r.execute_pushed(plan, outer)
         )

@@ -465,6 +465,18 @@ def record_execution(
         "Rows carried by columnar batch operator evaluations.",
     ).inc(stats.batch_rows)
     registry.counter(
+        "yat_shard_scatter_total",
+        "Scatter branches evaluated over sharded logical sources.",
+    ).inc(stats.shard_scatter)
+    registry.counter(
+        "yat_shard_pruned_total",
+        "Shard branches skipped by partition-key pruning.",
+    ).inc(stats.shard_pruned)
+    registry.counter(
+        "yat_shard_failovers_total",
+        "Shard calls rerouted from a failed replica to the next one.",
+    ).inc(stats.shard_failovers)
+    registry.counter(
         "yat_store_pushdowns_total",
         "Pushed Binds answered by SQL interval self-joins in a document store.",
     ).inc(stats.store_pushdowns)

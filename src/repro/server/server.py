@@ -140,6 +140,7 @@ class Ticket:
 
     __slots__ = ("request_id", "text", "tenant", "priority", "deadline",
                  "degrade", "tracer", "execution", "submitted_at",
+                 "shard_fanout", "fanout_capped",
                  "started_at", "completed_at", "_event", "_result", "_error")
 
     def __init__(
@@ -153,6 +154,8 @@ class Ticket:
         tracer,
         submitted_at: float,
         execution: Optional[ExecutionPolicy] = None,
+        shard_fanout: int = 0,
+        fanout_capped: bool = False,
     ) -> None:
         self.request_id = request_id
         self.text = text
@@ -165,6 +168,14 @@ class Ticket:
         #: Per-request :class:`ExecutionPolicy` override (``None`` defers
         #: to the server's configured policy).
         self.execution = execution
+        #: Largest scatter fan-out a sharded source of this mediator can
+        #: produce (0 when nothing is sharded).
+        self.shard_fanout = shard_fanout
+        #: True when that fan-out exceeds the request's effective
+        #: scheduler parallelism: the scatter still runs and the answer
+        #: is unchanged, but branches are (partially) serialized instead
+        #: of all running at once.
+        self.fanout_capped = fanout_capped
         self.submitted_at = submitted_at
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None
@@ -305,7 +316,13 @@ class MediatorServer:
         check — but it must not claim more parallel workers than the
         server's own policy grants (``ValueError`` otherwise, decided at
         submission so the caller finds out immediately, not through the
-        ticket).  Raises :class:`~repro.errors.QuotaExceededError` or
+        ticket).  When the mediator serves sharded sources, the ticket
+        additionally reports the largest possible scatter fan-out and
+        whether the request's effective parallelism caps it
+        (``Ticket.shard_fanout`` / ``Ticket.fanout_capped``) — a capped
+        scatter is answer-preserving but partially serialized, and the
+        server surfaces that instead of hiding it.
+        Raises :class:`~repro.errors.QuotaExceededError` or
         :class:`~repro.errors.OverloadedError` — both carrying
         ``retry_after`` — when the request cannot be accepted; rejection
         never blocks on running queries.
@@ -363,6 +380,15 @@ class MediatorServer:
                 self.counters["degraded_forced"] += 1
             budget = deadline if deadline is not None else config.default_deadline
             absolute = now + budget if budget is not None else None
+            effective = execution if execution is not None else config.execution
+            catalog = getattr(self.mediator, "catalog", None)
+            topologies = getattr(
+                catalog, "shard_topologies", lambda: {}
+            )()
+            fanout = max(
+                (topology.total for topology in topologies.values()), default=0
+            )
+            parallelism = effective.parallelism if effective is not None else 1
             self._next_id += 1
             ticket = Ticket(
                 request_id=f"r{self._next_id}",
@@ -374,6 +400,8 @@ class MediatorServer:
                 tracer=tracer,
                 submitted_at=now,
                 execution=execution,
+                shard_fanout=fanout,
+                fanout_capped=fanout > parallelism,
             )
             self._queues[priority].append(ticket)
             self._depth += 1

@@ -291,6 +291,97 @@ class TestCompileOnceSoundness:
             assert tree_to_xml(warm.document()) == reference
 
 
+class TestShardingSoundness:
+    """Sharded-federation differential: scatter-gather never changes a byte.
+
+    The oracle is a monolithic mediator over ``shard_major_store`` — the
+    shard-major concatenation that the sharded adapter's ``document()``
+    is *defined* to produce — running under ``ExecutionPolicy.serial()``.
+    The subject registers the same shard stores through
+    ``connect_sharded`` and sweeps vectorize × twig × parallelism;
+    shard expansion, pruning and parallel scatter branches must all
+    serialize identically for every dataset shape.  A second
+    differential kills one replica per shard with a deterministic
+    :class:`~repro.testing.FaultSchedule`: failover must reroute to the
+    healthy replica and still match the oracle with ``degraded`` false.
+    """
+
+    GRID = tuple(
+        ExecutionPolicy(vectorize=vectorize, twig_joins=twig,
+                        parallelism=parallelism)
+        for vectorize in (False, True)
+        for twig in (False, True)
+        for parallelism in (1, 4)
+    )
+
+    @staticmethod
+    def _pair(params, shards=3, replicas=1, wrap=None):
+        from repro.sources.sharded import (
+            HashPartition,
+            build_sharded_wais,
+            shard_major_store,
+            shard_wais_store,
+        )
+
+        database, store = CulturalDataset(**params).build()
+        partition = HashPartition("artist", shards)
+        stores = shard_wais_store(store, partition)
+
+        oracle = Mediator(execution=ExecutionPolicy.serial(),
+                          result_cache_bytes=0)
+        oracle.connect(O2Wrapper("o2artifact", database))
+        oracle.connect(WaisWrapper("xmlartwork", shard_major_store(stores)))
+        oracle.declare_containment("artworks", "artifacts")
+        oracle.load_program(VIEW1_YAT)
+
+        sharded = Mediator(result_cache_bytes=0)
+        sharded.connect(O2Wrapper("o2artifact", database))
+        sharded.connect_sharded(
+            "xmlartwork",
+            build_sharded_wais(
+                "xmlartwork", stores, replicas=replicas, wrap=wrap
+            ),
+            partition,
+        )
+        sharded.declare_containment("artworks", "artifacts")
+        sharded.load_program(VIEW1_YAT)
+        return oracle, sharded
+
+    @given(params=datasets)
+    @settings(max_examples=8, deadline=None)
+    def test_sharded_grid_matches_shard_major_oracle(self, params):
+        oracle, sharded = self._pair(params)
+        for name, text in QUERIES.items():
+            reference = tree_to_xml(oracle.query(text).document())
+            for execution in self.GRID:
+                subject = sharded.query(text, execution=execution)
+                assert tree_to_xml(subject.document()) == reference, (
+                    f"sharding divergence on {name} under {execution!r}"
+                )
+
+    @given(params=datasets)
+    @settings(max_examples=6, deadline=None)
+    def test_replica_failover_matches_oracle_without_degrading(self, params):
+        from repro import ResiliencePolicy
+        from repro.testing import FaultSchedule, FaultyWrapper
+
+        def dead_primary(wrapper, shard, replica):
+            if replica == 0:
+                return FaultyWrapper(wrapper, FaultSchedule().dead_source())
+            return wrapper
+
+        oracle, sharded = self._pair(params, replicas=2, wrap=dead_primary)
+        policy = ResiliencePolicy(retry=None, circuit_failure_threshold=1)
+        for name, text in QUERIES.items():
+            reference = tree_to_xml(oracle.query(text).document())
+            subject = sharded.query(text, policy=policy)
+            assert tree_to_xml(subject.document()) == reference, (
+                f"failover divergence on {name}"
+            )
+            assert subject.degraded is False
+            assert subject.report.stats.shard_failovers > 0
+
+
 class TestResultCacheSoundness:
     """Result-cache differential: a hit must be a byte-perfect stand-in.
 
